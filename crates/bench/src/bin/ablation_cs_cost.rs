@@ -1,0 +1,40 @@
+//! **Ablation** — context-switch cost sensitivity.
+//!
+//! The paper's context-switch argument should hold across plausible switch
+//! costs; this sweep varies the base cost from 1 to 25 µs and reports the
+//! sTomcat-Async vs sTomcat-Sync gap at concurrency 8 / 0.1 KB.
+
+use asyncinv::{fmt_f64, Experiment, ExperimentConfig, ServerKind, SimDuration, Table};
+use asyncinv_bench::{banner, fidelity_from_args};
+
+fn main() {
+    banner(
+        "Ablation: context-switch cost sensitivity",
+        "the async pool's deficit scales with the per-switch cost",
+    );
+    let fid = fidelity_from_args();
+    let (warmup, measure) = fid.micro_windows();
+    let mut t = Table::new(vec![
+        "cs cost".into(),
+        "sync tput".into(),
+        "asyncpool tput".into(),
+        "async/sync".into(),
+    ]);
+    t.numeric();
+    for &us in &[1u64, 5, 10, 25] {
+        let mut cfg = ExperimentConfig::micro(8, 100);
+        cfg.warmup = warmup;
+        cfg.measure = measure;
+        cfg.cpu.cs_cost = SimDuration::from_micros(us);
+        let exp = Experiment::new(cfg);
+        let sync = exp.run(ServerKind::SyncThread);
+        let pool = exp.run(ServerKind::AsyncPool);
+        t.row(vec![
+            format!("{us}us"),
+            fmt_f64(sync.throughput, 1),
+            fmt_f64(pool.throughput, 1),
+            fmt_f64(pool.throughput / sync.throughput, 3),
+        ]);
+    }
+    asyncinv_bench::print_and_export("ablation_cs_cost", &t);
+}

@@ -1,0 +1,37 @@
+//! **Ablation** — packet loss (an extension beyond the paper's
+//! latency-only network conditions).
+//!
+//! A lost flight costs a 200 ms retransmission timeout before its ACK
+//! returns, so each loss event freezes the send buffer like a huge latency
+//! spike. Unbounded spinners burn the whole RTO on `write()` retries;
+//! blocking and bounded-spin servers sleep or serve other connections.
+
+use asyncinv::{Experiment, ExperimentConfig, ServerKind};
+use asyncinv_bench::{banner, fidelity_from_args, throughput_table};
+
+fn main() {
+    banner(
+        "Ablation: packet loss (extension)",
+        "loss behaves like a latency spike per flight: spinners collapse \
+         first",
+    );
+    let fid = fidelity_from_args();
+    let (warmup, measure) = fid.micro_windows();
+    let mut rows = Vec::new();
+    for &loss in &[0.0f64, 0.001, 0.01, 0.05] {
+        for kind in [
+            ServerKind::SyncThread,
+            ServerKind::SingleThread,
+            ServerKind::NettyLike,
+        ] {
+            let mut cfg = ExperimentConfig::micro(100, 100 * 1024);
+            cfg.warmup = warmup;
+            cfg.measure = measure;
+            cfg.tcp.loss = loss;
+            let mut s = Experiment::new(cfg).run(kind);
+            s.server = format!("{}/loss={:.1}%", s.server, loss * 100.0);
+            rows.push(s);
+        }
+    }
+    asyncinv_bench::print_and_export("ablation_loss", &throughput_table(&rows));
+}

@@ -1,0 +1,29 @@
+//! **Ablation** — fixed TCP send-buffer size vs response size.
+//!
+//! The paper's "intuitive solution": raising SO_SNDBUF to the response
+//! size removes the write-spin. This sweep shows the knee at
+//! buffer == response and the diminishing returns beyond.
+
+use asyncinv::substrate::SendBufPolicy;
+use asyncinv::{Experiment, ExperimentConfig, ServerKind};
+use asyncinv_bench::{banner, fidelity_from_args, throughput_table};
+
+fn main() {
+    banner(
+        "Ablation: fixed send-buffer size (SingleT-Async, 100 KB)",
+        "the write-spin disappears once the buffer covers the response",
+    );
+    let fid = fidelity_from_args();
+    let (warmup, measure) = fid.micro_windows();
+    let mut rows = Vec::new();
+    for &kb in &[4usize, 8, 16, 32, 64, 100, 128, 256] {
+        let mut cfg = ExperimentConfig::micro(100, 100 * 1024);
+        cfg.warmup = warmup;
+        cfg.measure = measure;
+        cfg.tcp.send_buf = SendBufPolicy::Fixed(kb * 1024);
+        let mut s = Experiment::new(cfg).run(ServerKind::SingleThread);
+        s.server = format!("SingleT/sndbuf={kb}KB");
+        rows.push(s);
+    }
+    asyncinv_bench::print_and_export("ablation_send_buffer", &throughput_table(&rows));
+}

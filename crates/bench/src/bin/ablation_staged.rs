@@ -1,0 +1,47 @@
+//! **Ablation** — the SEDA/WatPipe staged pipeline (paper Section II-A,
+//! described but not measured there).
+//!
+//! Compares the staged design against the paper's architectures across
+//! concurrency and response sizes, and sweeps the per-stage pool size.
+//! Stage handoffs amortize with queue depth just like the reactor pool's
+//! dispatches, so the staged server tracks sTomcat-Async-Fix at low
+//! concurrency and the batched designs at high concurrency.
+
+use asyncinv::{Experiment, ExperimentConfig, ServerKind};
+use asyncinv_bench::{banner, fidelity_from_args, throughput_table};
+
+fn main() {
+    banner(
+        "Ablation: staged (SEDA/WatPipe) pipeline",
+        "stage handoffs cost like reactor dispatches and amortize with load",
+    );
+    let fid = fidelity_from_args();
+    let (warmup, measure) = fid.micro_windows();
+    let mut rows = Vec::new();
+    for &(conc, size) in &[(1usize, 100usize), (8, 100), (64, 100), (8, 100 * 1024)] {
+        for kind in [
+            ServerKind::Staged,
+            ServerKind::AsyncPoolFix,
+            ServerKind::SingleThread,
+        ] {
+            let mut cfg = ExperimentConfig::micro(conc, size);
+            cfg.warmup = warmup;
+            cfg.measure = measure;
+            rows.push(Experiment::new(cfg).run(kind));
+        }
+    }
+    asyncinv_bench::print_and_export("ablation_staged", &throughput_table(&rows));
+
+    println!("per-stage pool size sweep (conc 64, 0.1 KB):");
+    let mut rows = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut cfg = ExperimentConfig::micro(64, 100);
+        cfg.warmup = warmup;
+        cfg.measure = measure;
+        cfg.staged_workers = workers;
+        let mut s = Experiment::new(cfg).run(ServerKind::Staged);
+        s.server = format!("Staged/{workers}w");
+        rows.push(s);
+    }
+    asyncinv_bench::print_and_export("ablation_staged", &throughput_table(&rows));
+}

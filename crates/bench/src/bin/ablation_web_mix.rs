@@ -1,0 +1,39 @@
+//! **Ablation** — a realistic web mixture (extension): 200 request classes
+//! with bounded-Pareto (heavy-tailed) response sizes and Zipf popularity,
+//! the traffic shape the paper cites when arguing the hybrid "makes more
+//! sense in dealing with realistic workload" (its Section V-C).
+//!
+//! Unlike the two-class Fig 11 mix, the hybrid must profile hundreds of
+//! classes; most are light (fast path), the Pareto tail is heavy (bounded
+//! path), and no single static configuration suits both.
+
+use asyncinv::workload::Mix;
+use asyncinv::{Experiment, ExperimentConfig, ServerKind, SimDuration};
+use asyncinv_bench::{banner, fidelity_from_args, throughput_table};
+
+fn main() {
+    banner(
+        "Ablation: heavy-tailed web mixture (200 Zipf classes, extension)",
+        "the hybrid profiles per class and tracks the best pure strategy on \
+         realistic traffic",
+    );
+    let fid = fidelity_from_args();
+    let (warmup, measure) = fid.micro_windows();
+    let mix = Mix::web_realistic(200, 1.0, 0.7, 100, 200 * 1024, 2026);
+    let mut rows = Vec::new();
+    for &lat_ms in &[0u64, 5] {
+        for kind in [
+            ServerKind::Hybrid,
+            ServerKind::NettyLike,
+            ServerKind::SingleThread,
+            ServerKind::SyncThread,
+        ] {
+            let mut cfg = ExperimentConfig::with_mix(100, mix.clone())
+                .with_latency(SimDuration::from_millis(lat_ms));
+            cfg.warmup = warmup;
+            cfg.measure = measure;
+            rows.push(Experiment::new(cfg).run(kind));
+        }
+    }
+    asyncinv_bench::print_and_export("ablation_web_mix", &throughput_table(&rows));
+}

@@ -1,0 +1,32 @@
+//! **Ablation** — Netty's `writeSpinCount` threshold (default 16).
+//!
+//! Sweeps the bound from 1 to effectively-unbounded on the Fig 9 workloads.
+//! Small bounds park too eagerly (extra writable round trips); huge bounds
+//! degenerate to SingleT-Async's unbounded spin.
+
+use asyncinv::{Experiment, ExperimentConfig, ServerKind, SimDuration};
+use asyncinv_bench::{banner, fidelity_from_args, throughput_table};
+
+fn main() {
+    banner(
+        "Ablation: writeSpin threshold",
+        "the paper adopts Netty 4's default of 16; this sweep shows the \
+         tradeoff both ways",
+    );
+    let fid = fidelity_from_args();
+    let (warmup, measure) = fid.micro_windows();
+    let mut rows = Vec::new();
+    for &lat in &[0u64, 5000] {
+        for &limit in &[1u32, 4, 16, 64, 4096] {
+            let mut cfg = ExperimentConfig::micro(100, 100 * 1024);
+            cfg.warmup = warmup;
+            cfg.measure = measure;
+            cfg.write_spin_limit = limit;
+            cfg.tcp.added_latency = SimDuration::from_micros(lat);
+            let mut s = Experiment::new(cfg).run(ServerKind::NettyLike);
+            s.server = format!("Netty/spin={limit}");
+            rows.push(s);
+        }
+    }
+    asyncinv_bench::print_and_export("ablation_write_spin_limit", &throughput_table(&rows));
+}

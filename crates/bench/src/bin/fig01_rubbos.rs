@@ -1,0 +1,70 @@
+//! **Fig 1** — RUBBoS system throughput/response time vs. number of users,
+//! before and after the Tomcat upgrade (thread-based sTomcat-Sync = Tomcat 7
+//! vs asynchronous reactor+pool = Tomcat 8).
+//!
+//! Paper: SYS_tomcatV7 saturates at 11000 users, SYS_tomcatV8 at 9000; at
+//! workload 11000 the thread-based system wins by 28% in throughput and an
+//! order of magnitude in response time (226 ms vs 2820 ms).
+
+use asyncinv::figures::Fidelity;
+use asyncinv::{fmt_f64, Table};
+use asyncinv_bench::{banner, fidelity_from_args};
+
+fn main() {
+    banner(
+        "Fig 1: RUBBoS before/after the Tomcat upgrade",
+        "upgrading the bottleneck tier to the async architecture degrades \
+         saturated throughput and blows up response times",
+    );
+    let fid = fidelity_from_args();
+    let users: &[usize] = match fid {
+        Fidelity::Quick => &[1000, 4000, 6000],
+        Fidelity::Full => &[1000, 3000, 5000, 7000, 9000, 10000, 11000, 12000, 13000],
+    };
+    let rows = asyncinv::figures::fig01_rubbos(fid, users);
+    let mut t = Table::new(vec![
+        "tomcat".into(),
+        "users".into(),
+        "tput[req/s]".into(),
+        "mean RT[ms]".into(),
+        "p99 RT[ms]".into(),
+        "tomcat CPU%".into(),
+        "cs/s".into(),
+        "db util%".into(),
+    ]);
+    t.numeric();
+    for r in &rows {
+        t.row(vec![
+            r.server.clone(),
+            r.users.to_string(),
+            fmt_f64(r.throughput, 1),
+            fmt_f64(r.mean_rt_ms, 1),
+            fmt_f64(r.p99_rt_ms, 1),
+            fmt_f64(r.tomcat_cpu * 100.0, 1),
+            fmt_f64(r.cs_per_sec, 0),
+            fmt_f64(r.db_util * 100.0, 1),
+        ]);
+    }
+    asyncinv_bench::print_and_export("fig01_rubbos", &t);
+
+    // Detect each system's saturation knee, the paper's headline framing
+    // ("SYS_tomcatV7 saturates at 11000 while SYS_tomcatV8 at 9000").
+    for name in ["sTomcat-Sync", "sTomcat-Async"] {
+        let sweep: Vec<asyncinv::SweepPoint> = rows
+            .iter()
+            .filter(|r| r.server == name)
+            .map(|r| asyncinv::SweepPoint {
+                load: r.users as f64,
+                throughput: r.throughput,
+                response_time: r.mean_rt_ms,
+            })
+            .collect();
+        match asyncinv::find_knee(&sweep, 0.3, 10.0) {
+            Some(i) => println!(
+                "{name}: saturates around {} users ({:.0} req/s)",
+                sweep[i].load, sweep[i].throughput
+            ),
+            None => println!("{name}: no saturation within the sweep"),
+        }
+    }
+}

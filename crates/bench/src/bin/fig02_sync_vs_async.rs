@@ -1,0 +1,41 @@
+//! **Fig 2** — server throughput, thread-based vs asynchronous Tomcat,
+//! as workload concurrency rises from 1 to 3200 for 0.1/10/100 KB
+//! responses.
+//!
+//! Paper: the asynchronous server loses below a crossover concurrency
+//! (≈64 at 10 KB; ≈1600 at 100 KB) and wins beyond it.
+
+use asyncinv_bench::{banner, fidelity_from_args, throughput_table};
+
+fn main() {
+    banner(
+        "Fig 2: TomcatSync vs TomcatAsync across concurrency",
+        "async wins only past a crossover concurrency; the crossover moves \
+         up with response size",
+    );
+    let fid = fidelity_from_args();
+    let concs: &[usize] = match fid {
+        asyncinv::figures::Fidelity::Quick => &[1, 16, 200, 1600],
+        asyncinv::figures::Fidelity::Full => &asyncinv::figures::CONCURRENCIES,
+    };
+    let rows = asyncinv::figures::fig02_sync_vs_async(fid, concs);
+    asyncinv_bench::print_and_export("fig02_sync_vs_async", &throughput_table(&rows));
+
+    // One chart per response size: throughput vs log2(concurrency).
+    for &size in &asyncinv::figures::SIZES {
+        let mut chart = asyncinv::Chart::new(
+            format!("throughput [req/s] vs log2(concurrency) — {size} B responses"),
+            64,
+            12,
+        );
+        for name in ["sTomcat-Sync", "sTomcat-Async"] {
+            let pts: Vec<(f64, f64)> = rows
+                .iter()
+                .filter(|r| r.server == name && r.response_size == size)
+                .map(|r| ((r.concurrency as f64).log2(), r.throughput))
+                .collect();
+            chart.series(name, pts);
+        }
+        println!("{chart}");
+    }
+}

@@ -1,0 +1,24 @@
+//! **Fig 4** — throughput (a–c) and context-switch rate (d–f) of the four
+//! simplified architectures across concurrencies and response sizes.
+//!
+//! Paper: throughput is negatively correlated with context-switch
+//! frequency; sTomcat-Async-Fix beats sTomcat-Async by ~22% at concurrency
+//! 16 with ~34% fewer switches; SingleT-Async wins on small responses but
+//! loses on 100 KB (write-spin).
+
+use asyncinv_bench::{banner, fidelity_from_args, throughput_table};
+
+fn main() {
+    banner(
+        "Fig 4: four archetypes, throughput + context switches",
+        "maximum throughput anti-correlates with context-switch rate; \
+         write-spin flips the ranking at 100 KB",
+    );
+    let fid = fidelity_from_args();
+    let concs: &[usize] = match fid {
+        asyncinv::figures::Fidelity::Quick => &[8, 64, 800],
+        asyncinv::figures::Fidelity::Full => &asyncinv::figures::CONCURRENCIES,
+    };
+    let rows = asyncinv::figures::fig04_four_archetypes(fid, concs);
+    asyncinv_bench::print_and_export("fig04_four_archetypes", &throughput_table(&rows));
+}

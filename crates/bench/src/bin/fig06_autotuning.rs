@@ -1,0 +1,25 @@
+//! **Fig 6** — kernel auto-tuned send buffer vs a fixed 100 KB buffer for
+//! SingleT-Async sending 100 KB responses.
+//!
+//! Paper: auto-tuning sizes the buffer from the transport's
+//! bandwidth-delay product, not the application's response size, so the
+//! write-spin persists; a fixed response-sized buffer eliminates it. The
+//! gap widens with network latency.
+
+use asyncinv::figures::Fidelity;
+use asyncinv_bench::{banner, fidelity_from_args, throughput_table};
+
+fn main() {
+    banner(
+        "Fig 6: send-buffer auto-tuning vs fixed 100 KB",
+        "auto-tuning tracks the BDP, not the response: the spin persists \
+         and latency widens the gap",
+    );
+    let fid = fidelity_from_args();
+    let lats: &[u64] = match fid {
+        Fidelity::Quick => &[0, 5000],
+        Fidelity::Full => &[0, 1000, 2000, 5000, 10000],
+    };
+    let rows = asyncinv::figures::fig06_autotuning(fid, lats);
+    asyncinv_bench::print_and_export("fig06_autotuning", &throughput_table(&rows));
+}

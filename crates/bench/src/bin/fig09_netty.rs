@@ -1,0 +1,23 @@
+//! **Fig 9** — NettyServer vs SingleT-Async vs sTomcat-Sync across
+//! concurrencies, for 100 KB (a) and 0.1 KB (b) responses.
+//!
+//! Paper: (a) Netty's bounded writeSpin mitigates the spin and wins on
+//! 100 KB; (b) its pipeline/outbound-buffer machinery makes it lose to the
+//! bare single-threaded server on 0.1 KB.
+
+use asyncinv::figures::Fidelity;
+use asyncinv_bench::{banner, fidelity_from_args, throughput_table};
+
+fn main() {
+    banner(
+        "Fig 9: Netty's write optimization — benefit and overhead",
+        "bounded spin wins on heavy responses, costs on light ones",
+    );
+    let fid = fidelity_from_args();
+    let concs: &[usize] = match fid {
+        Fidelity::Quick => &[8, 100],
+        Fidelity::Full => &[1, 8, 16, 64, 100, 200, 400],
+    };
+    let rows = asyncinv::figures::fig09_netty(fid, concs);
+    asyncinv_bench::print_and_export("fig09_netty", &throughput_table(&rows));
+}

@@ -1,0 +1,54 @@
+//! **Fig 11** — normalized throughput vs. percentage of heavy (100 KB)
+//! requests at concurrency 100, without (a) and with (b) added latency.
+//!
+//! Paper: HybridNetty equals SingleT-Async at 0% heavy and NettyServer at
+//! 100%, and beats both in between (+30% over SingleT-Async, +10% over
+//! NettyServer at 5% heavy); with latency, SingleT-Async collapses for any
+//! non-negligible heavy fraction.
+
+use asyncinv::figures::Fidelity;
+use asyncinv::{fmt_f64, Table};
+use asyncinv_bench::{banner, fidelity_from_args};
+
+fn main() {
+    banner(
+        "Fig 11: HybridNetty across heavy-request fractions",
+        "the hybrid tracks the best pure strategy at the endpoints and \
+         beats both in between",
+    );
+    let fid = fidelity_from_args();
+    let pcts: &[u32] = match fid {
+        Fidelity::Quick => &[0, 5, 100],
+        Fidelity::Full => &[0, 1, 5, 10, 20, 50, 80, 100],
+    };
+    for (label, lat, csv) in [
+        ("(a) no added latency", 0u64, "fig11_hybrid_a"),
+        ("(b) +5 ms latency", 5000, "fig11_hybrid_b"),
+    ] {
+        println!("--- {label} ---");
+        let rows = asyncinv::figures::fig11_hybrid(fid, pcts, lat);
+        let mut t = Table::new(vec![
+            "heavy%".into(),
+            "server".into(),
+            "tput[req/s]".into(),
+            "normalized (Hybrid=1.0)".into(),
+        ]);
+        t.numeric();
+        for chunk in rows.chunks(3) {
+            let hybrid_tput = chunk
+                .iter()
+                .find(|r| r.server == "HybridNetty")
+                .expect("hybrid row")
+                .throughput;
+            for r in chunk {
+                t.row(vec![
+                    r.response_size.to_string(),
+                    r.server.clone(),
+                    fmt_f64(r.throughput, 1),
+                    fmt_f64(r.throughput / hybrid_tput, 3),
+                ]);
+            }
+        }
+        asyncinv_bench::print_and_export(csv, &t);
+    }
+}

@@ -1,0 +1,58 @@
+//! Runs every paper artifact and ablation in sequence — the one-command
+//! reproduction of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p asyncinv-bench --bin repro_all            # full
+//! cargo run --release -p asyncinv-bench --bin repro_all -- --quick # smoke
+//! ```
+//!
+//! Set `ASYNCINV_CSV_DIR=dir` to also export every table as CSV.
+
+use std::process::Command;
+
+const ARTIFACTS: [&str; 21] = [
+    "table2_cs_per_request",
+    "table4_write_spin",
+    "table1_context_switches",
+    "table3_cpu_split",
+    "fig02_sync_vs_async",
+    "fig04_four_archetypes",
+    "fig06_autotuning",
+    "fig07_latency",
+    "fig09_netty",
+    "fig11_hybrid",
+    "fig01_rubbos",
+    "ablation_write_spin_limit",
+    "ablation_send_buffer",
+    "ablation_cs_cost",
+    "ablation_hybrid_paths",
+    "ablation_multicore",
+    "ablation_staged",
+    "ablation_drift",
+    "ablation_http2_push",
+    "ablation_loss",
+    "ablation_web_mix",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin directory");
+    let mut failed = Vec::new();
+    for (i, artifact) in ARTIFACTS.iter().enumerate() {
+        println!("\n### [{}/{}] {artifact}\n", i + 1, ARTIFACTS.len());
+        let status = Command::new(dir.join(artifact))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {artifact}: {e}"));
+        if !status.success() {
+            failed.push(*artifact);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall {} artifacts reproduced", ARTIFACTS.len());
+    } else {
+        eprintln!("\nFAILED artifacts: {failed:?}");
+        std::process::exit(1);
+    }
+}

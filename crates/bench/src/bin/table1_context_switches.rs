@@ -1,0 +1,35 @@
+//! **Table I** — context switches per request of the full TomcatAsync vs
+//! TomcatSync at workload concurrency 8.
+//!
+//! Paper: 40/16 (0.1 KB), 25/7 (10 KB), 28/2 (100 KB) — the asynchronous
+//! server always switches far more than the thread-based one.
+
+use asyncinv::{fmt_f64, Table};
+use asyncinv_bench::{banner, fidelity_from_args};
+
+fn main() {
+    banner(
+        "Table I: context switches per request at concurrency 8",
+        "the asynchronous Tomcat context-switches several times more than \
+         the synchronous one at identical workload",
+    );
+    let rows = asyncinv::figures::table1_context_switches(fidelity_from_args());
+    let mut t = Table::new(vec![
+        "response".into(),
+        "server".into(),
+        "cs/req".into(),
+        "cs/s".into(),
+        "tput[req/s]".into(),
+    ]);
+    t.numeric();
+    for r in &rows {
+        t.row(vec![
+            format!("{}B", r.response_size),
+            r.server.clone(),
+            fmt_f64(r.cs_per_req, 2),
+            fmt_f64(r.cs_per_sec, 0),
+            fmt_f64(r.throughput, 1),
+        ]);
+    }
+    asyncinv_bench::print_and_export("table1_context_switches", &t);
+}

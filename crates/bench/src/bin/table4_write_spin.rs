@@ -1,0 +1,35 @@
+//! **Table IV** — `socket.write()` calls per request in SingleT-Async.
+//!
+//! Paper: 1 call/request at 0.1 KB and 10 KB, but ~102 calls/request at
+//! 100 KB — the write-spin problem caused by the 16 KB send buffer and the
+//! TCP wait-ACK mechanism.
+
+use asyncinv::{fmt_f64, Table};
+use asyncinv_bench::{banner, fidelity_from_args};
+
+fn main() {
+    banner(
+        "Table IV: write calls per request (SingleT-Async)",
+        "100 KB responses spin: ~100 write() calls per request vs 1",
+    );
+    let rows = asyncinv::figures::table4_write_spin(fidelity_from_args());
+    let mut t = Table::new(vec![
+        "resp. size".into(),
+        "# req.".into(),
+        "# socket.write()".into(),
+        "# write() per req.".into(),
+        "# zero-return per req.".into(),
+    ]);
+    t.numeric();
+    for r in &rows {
+        let writes = (r.writes_per_req * r.completions as f64).round();
+        t.row(vec![
+            format!("{}B", r.response_size),
+            r.completions.to_string(),
+            fmt_f64(writes, 0),
+            fmt_f64(r.writes_per_req, 1),
+            fmt_f64(r.spins_per_req, 1),
+        ]);
+    }
+    asyncinv_bench::print_and_export("table4_write_spin", &t);
+}

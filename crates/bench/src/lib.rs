@@ -1,0 +1,101 @@
+//! # asyncinv-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (run with `cargo run --release
+//! -p asyncinv-bench --bin <name>`), plus Criterion micro-benchmarks of the
+//! simulation substrates (`cargo bench`).
+//!
+//! Every binary accepts `--quick` (or env `ASYNCINV_QUICK=1`) to shrink the
+//! measurement windows for smoke runs; the recorded numbers in
+//! `EXPERIMENTS.md` come from full runs.
+
+use asyncinv::figures::Fidelity;
+use asyncinv::{fmt_f64, RunSummary, Table};
+
+/// Parses the common `--quick` flag / `ASYNCINV_QUICK` env toggle.
+pub fn fidelity_from_args() -> Fidelity {
+    let quick_flag = std::env::args().any(|a| a == "--quick");
+    let quick_env = std::env::var("ASYNCINV_QUICK").is_ok_and(|v| v == "1");
+    if quick_flag || quick_env {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    }
+}
+
+/// Renders a throughput-oriented table of run summaries, one row each.
+pub fn throughput_table(rows: &[RunSummary]) -> Table {
+    let mut t = Table::new(vec![
+        "server".into(),
+        "conc".into(),
+        "resp[B]".into(),
+        "lat[us]".into(),
+        "tput[req/s]".into(),
+        "mean RT".into(),
+        "p99 RT".into(),
+        "cs/req".into(),
+        "writes/req".into(),
+        "cpu%".into(),
+    ]);
+    t.numeric();
+    for r in rows {
+        t.row(vec![
+            r.server.clone(),
+            r.concurrency.to_string(),
+            r.response_size.to_string(),
+            r.added_latency_us.to_string(),
+            fmt_f64(r.throughput, 1),
+            format!("{:.2}ms", r.mean_rt_us as f64 / 1000.0),
+            format!("{:.2}ms", r.p99_rt_us as f64 / 1000.0),
+            fmt_f64(r.cs_per_req, 2),
+            fmt_f64(r.writes_per_req, 2),
+            fmt_f64(r.cpu.utilization() * 100.0, 1),
+        ]);
+    }
+    t
+}
+
+/// Prints a table and, when `ASYNCINV_CSV_DIR` is set, also writes it as
+/// `<dir>/<name>.csv` so plots can be regenerated from the harness runs.
+pub fn print_and_export(name: &str, table: &Table) {
+    println!("{table}");
+    if let Ok(dir) = std::env::var("ASYNCINV_CSV_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
+        if let Err(e) = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(&path, table.to_csv()))
+        {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Prints a standard harness header.
+pub fn banner(artifact: &str, claim: &str) {
+    println!("================================================================");
+    println!("asyncinv reproduction — {artifact}");
+    println!("paper claim: {claim}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_table_renders_all_rows() {
+        let rows = vec![
+            RunSummary {
+                server: "A".into(),
+                throughput: 123.456,
+                ..RunSummary::default()
+            },
+            RunSummary {
+                server: "B".into(),
+                ..RunSummary::default()
+            },
+        ];
+        let t = throughput_table(&rows);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("123.5"));
+    }
+}

@@ -1,0 +1,291 @@
+//! A rule-based performance advisor encoding the paper's lessons.
+//!
+//! The paper's conclusion is that "building high performance asynchronous
+//! event-driven servers needs to take both the event processing flow and
+//! the runtime varying workload/network conditions into consideration" —
+//! i.e. an operator must *recognize* the context-switch and write-spin
+//! pathologies from runtime metrics and pick the right mitigation. This
+//! module automates that recognition over a measured [`RunSummary`]:
+//! each [`Finding`] names the diagnosed pathology, the evidence, and the
+//! remedy the paper evaluates for it.
+
+use asyncinv_metrics::RunSummary;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A diagnosed performance pathology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pathology {
+    /// Non-blocking writes against a full send buffer (paper Section IV):
+    /// many `socket.write()` calls and zero-returns per request.
+    WriteSpin,
+    /// Dispatch-heavy event processing flow (paper Section III): several
+    /// user-space context switches per request.
+    DispatchOverhead,
+    /// The write-spin multiplied by network latency (paper Section IV-B):
+    /// response times far above the no-latency service time while CPU is
+    /// saturated with write calls.
+    LatencyAmplifiedSpin,
+    /// Light requests queueing behind heavy in-progress responses
+    /// (visible in the per-class breakdown).
+    HeadOfLineBlocking,
+    /// The measurement itself is questionable: unstable per-second rate.
+    UnsteadyMeasurement,
+}
+
+impl fmt::Display for Pathology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pathology::WriteSpin => "write-spin",
+            Pathology::DispatchOverhead => "dispatch overhead",
+            Pathology::LatencyAmplifiedSpin => "latency-amplified write-spin",
+            Pathology::HeadOfLineBlocking => "head-of-line blocking",
+            Pathology::UnsteadyMeasurement => "unsteady measurement",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One advisor finding: what was detected, why, and what the paper says
+/// to do about it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// The diagnosed pathology.
+    pub pathology: Pathology,
+    /// The metric evidence, human-readable.
+    pub evidence: String,
+    /// The paper-backed remedy.
+    pub remedy: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} — remedy: {}",
+            self.pathology, self.evidence, self.remedy
+        )
+    }
+}
+
+/// Diagnoses a measured run. Returns an empty vector for a healthy run.
+///
+/// ```
+/// use asyncinv::advisor::{diagnose, Pathology};
+/// use asyncinv::RunSummary;
+///
+/// let run = RunSummary {
+///     writes_per_req: 70.0,
+///     spins_per_req: 60.0,
+///     ..RunSummary::default()
+/// };
+/// let findings = diagnose(&run);
+/// assert!(findings.iter().any(|f| f.pathology == Pathology::WriteSpin));
+/// ```
+pub fn diagnose(run: &RunSummary) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // A bounded-spin server legitimately sees a couple of zero-returns per
+    // buffer-drain round (that is how it decides to park); the pathology is
+    // *polling volume*: tens of wasted calls per request.
+    if run.spins_per_req > 20.0 {
+        findings.push(Finding {
+            pathology: Pathology::WriteSpin,
+            evidence: format!(
+                "{:.1} write() calls/request with {:.1} zero-returns — responses \
+                 exceed the send buffer and the writer polls the buffer drain",
+                run.writes_per_req, run.spins_per_req
+            ),
+            remedy: "bound the spin (Netty writeSpinCount + park on writability), \
+                     or size SO_SNDBUF to the response, or route this request \
+                     class down a blocking/bounded path (HybridNetty)"
+                .into(),
+        });
+    }
+
+    if run.cs_per_req > 1.5 {
+        findings.push(Finding {
+            pathology: Pathology::DispatchOverhead,
+            evidence: format!(
+                "{:.1} context switches/request — the event processing flow \
+                 hands each request between threads repeatedly",
+                run.cs_per_req
+            ),
+            remedy: "merge read/write handling into one worker (sTomcat-Async-Fix) \
+                     or let workers own connections outright (Netty's reactor \
+                     redesign)"
+                .into(),
+        });
+    }
+
+    // Latency-amplified spin: spinning plus response times much larger than
+    // the added latency alone explains, with the added latency present.
+    if run.added_latency_us > 0
+        && run.spins_per_req > 20.0
+        && run.mean_rt_us > 10 * run.added_latency_us
+    {
+        findings.push(Finding {
+            pathology: Pathology::LatencyAmplifiedSpin,
+            evidence: format!(
+                "{} µs of injected latency turned into {} µs mean response time \
+                 with {:.0} spins/request — every buffer refill waits a full RTT",
+                run.added_latency_us, run.mean_rt_us, run.spins_per_req
+            ),
+            remedy: "never spin unboundedly on WAN paths: park the write and \
+                     serve other connections (bounded spin), or use blocking \
+                     writes on dedicated threads"
+                .into(),
+        });
+    }
+
+    // Head-of-line blocking: a light class whose p99 dwarfs its own mean
+    // while a heavy class shares the loop.
+    if run.per_class.len() >= 2 {
+        let heavy_present = run
+            .per_class
+            .iter()
+            .any(|c| c.response_bytes >= 64 * 1024 && c.completions > 0);
+        for c in &run.per_class {
+            if heavy_present
+                && c.response_bytes < 16 * 1024
+                && c.completions > 0
+                && c.p99_rt_us > 20 * c.mean_rt_us.max(1)
+            {
+                findings.push(Finding {
+                    pathology: Pathology::HeadOfLineBlocking,
+                    evidence: format!(
+                        "light class '{}' p99 {} µs vs mean {} µs while heavy \
+                         responses share the event loop",
+                        c.class, c.p99_rt_us, c.mean_rt_us
+                    ),
+                    remedy: "bound per-connection write passes so light requests \
+                             overtake (Netty/HybridNetty park mid-response)"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    if run.rate_cv > 0.3 && run.completions > 0 {
+        findings.push(Finding {
+            pathology: Pathology::UnsteadyMeasurement,
+            evidence: format!(
+                "per-second throughput CV {:.2} — the run never reached steady \
+                 state",
+                run.rate_cv
+            ),
+            remedy: "lengthen the warm-up/measurement windows before trusting \
+                     the numbers"
+                .into(),
+        });
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncinv_metrics::ClassSummary;
+
+    #[test]
+    fn healthy_run_has_no_findings() {
+        let run = RunSummary {
+            completions: 1000,
+            throughput: 500.0,
+            writes_per_req: 1.0,
+            spins_per_req: 0.0,
+            cs_per_req: 0.5,
+            rate_cv: 0.02,
+            ..RunSummary::default()
+        };
+        assert!(diagnose(&run).is_empty());
+    }
+
+    #[test]
+    fn spin_detected() {
+        let run = RunSummary {
+            writes_per_req: 73.0,
+            spins_per_req: 66.0,
+            ..RunSummary::default()
+        };
+        let f = diagnose(&run);
+        assert!(f.iter().any(|x| x.pathology == Pathology::WriteSpin));
+    }
+
+    #[test]
+    fn dispatch_overhead_detected() {
+        let run = RunSummary {
+            cs_per_req: 4.0,
+            ..RunSummary::default()
+        };
+        let f = diagnose(&run);
+        assert!(f.iter().any(|x| x.pathology == Pathology::DispatchOverhead));
+        assert!(f[0].to_string().contains("remedy"));
+    }
+
+    #[test]
+    fn latency_amplification_requires_latency() {
+        let base = RunSummary {
+            spins_per_req: 100.0,
+            writes_per_req: 100.0,
+            mean_rt_us: 2_000_000,
+            ..RunSummary::default()
+        };
+        assert!(!diagnose(&base)
+            .iter()
+            .any(|x| x.pathology == Pathology::LatencyAmplifiedSpin));
+        let with_latency = RunSummary {
+            added_latency_us: 5_000,
+            ..base
+        };
+        assert!(diagnose(&with_latency)
+            .iter()
+            .any(|x| x.pathology == Pathology::LatencyAmplifiedSpin));
+    }
+
+    #[test]
+    fn hol_blocking_needs_heavy_neighbour() {
+        let light = ClassSummary {
+            class: "light".into(),
+            response_bytes: 100,
+            completions: 100,
+            mean_rt_us: 500,
+            p99_rt_us: 50_000,
+        };
+        let heavy = ClassSummary {
+            class: "heavy".into(),
+            response_bytes: 100 * 1024,
+            completions: 10,
+            mean_rt_us: 40_000,
+            p99_rt_us: 60_000,
+        };
+        let run = RunSummary {
+            per_class: vec![heavy.clone(), light.clone()],
+            ..RunSummary::default()
+        };
+        assert!(diagnose(&run)
+            .iter()
+            .any(|x| x.pathology == Pathology::HeadOfLineBlocking));
+        // Without the heavy class the same light tail is not HoL.
+        let run = RunSummary {
+            per_class: vec![light],
+            ..RunSummary::default()
+        };
+        assert!(!diagnose(&run)
+            .iter()
+            .any(|x| x.pathology == Pathology::HeadOfLineBlocking));
+    }
+
+    #[test]
+    fn unsteady_measurement_detected() {
+        let run = RunSummary {
+            completions: 10,
+            rate_cv: 0.9,
+            ..RunSummary::default()
+        };
+        assert!(diagnose(&run)
+            .iter()
+            .any(|x| x.pathology == Pathology::UnsteadyMeasurement));
+    }
+}

@@ -1,0 +1,241 @@
+//! `asyncinv` — command-line front end for running individual experiment
+//! cells without writing Rust.
+//!
+//! ```sh
+//! asyncinv list
+//! asyncinv cell --server hybrid --conc 100 --size 100K --latency 5ms
+//! asyncinv cell --server sync --size 10K --conc 64 --measure 5 --spin-limit 16
+//! asyncinv cell --server netty --conc 8 --size 100K --dump-config cell.json
+//! asyncinv cell --config cell.json --server netty   # replay a saved cell
+//! asyncinv cell --server hybrid --json results.json # machine-readable out
+//! asyncinv rubbos --users 9000 --server async
+//! ```
+//!
+//! Flags use plain `--key value` pairs (no external CLI dependency). Sizes
+//! accept `K`/`M` suffixes, latency accepts `ms`/`us`.
+
+use asyncinv::prelude::*;
+use asyncinv::rubbos::RubbosExperiment;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => {
+            println!("available servers:");
+            for k in ServerKind::ALL {
+                println!("  {:<12} {}", flag_name(k), k.paper_name());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("cell") => match run_cell(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        Some("rubbos") => match run_rubbos(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => fail(&e),
+        },
+        _ => {
+            eprintln!(
+                "usage: asyncinv <list|cell|rubbos> [--server S] [--conc N] \
+                 [--size BYTES[K|M]] [--latency D(ms|us)] [--measure SECS] \
+                 [--warmup SECS] [--cores N] [--sndbuf BYTES[K|M]|auto] \
+                 [--spin-limit N] [--seed N] [--users N]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(1)
+}
+
+fn flag_name(k: ServerKind) -> &'static str {
+    match k {
+        ServerKind::SyncThread => "sync",
+        ServerKind::AsyncPool => "async",
+        ServerKind::AsyncPoolFix => "async-fix",
+        ServerKind::SingleThread => "single",
+        ServerKind::NettyLike => "netty",
+        ServerKind::Hybrid => "hybrid",
+        ServerKind::Staged => "staged",
+    }
+}
+
+fn parse_server(s: &str) -> Result<ServerKind, String> {
+    ServerKind::ALL
+        .into_iter()
+        .find(|k| flag_name(*k) == s || k.paper_name().eq_ignore_ascii_case(s))
+        .ok_or_else(|| format!("unknown server '{s}' (try `asyncinv list`)"))
+}
+
+/// Parses `--key value` pairs.
+fn opts(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let key = k
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{k}'"))?;
+        let v = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        out.push((key.to_string(), v.clone()));
+    }
+    Ok(out)
+}
+
+fn parse_size(s: &str) -> Result<usize, String> {
+    let (num, mul) = match s.to_ascii_uppercase() {
+        ref u if u.ends_with('K') => (&s[..s.len() - 1], 1024),
+        ref u if u.ends_with('M') => (&s[..s.len() - 1], 1024 * 1024),
+        _ => (s, 1),
+    };
+    num.parse::<usize>()
+        .map(|n| n * mul)
+        .map_err(|_| format!("bad size '{s}'"))
+}
+
+fn parse_latency(s: &str) -> Result<SimDuration, String> {
+    if let Some(ms) = s.strip_suffix("ms") {
+        ms.parse::<u64>()
+            .map(SimDuration::from_millis)
+            .map_err(|_| format!("bad latency '{s}'"))
+    } else if let Some(us) = s.strip_suffix("us") {
+        us.parse::<u64>()
+            .map(SimDuration::from_micros)
+            .map_err(|_| format!("bad latency '{s}'"))
+    } else {
+        Err(format!("latency '{s}' needs a ms/us suffix"))
+    }
+}
+
+fn run_cell(args: &[String]) -> Result<(), String> {
+    let mut server = ServerKind::Hybrid;
+    let mut conc = 8usize;
+    let mut size = 100usize;
+    let mut base_cfg: Option<ExperimentConfig> = None;
+    let mut dump_to: Option<String> = None;
+    let mut json_to: Option<String> = None;
+    let mut cfg_mods: Vec<(String, String)> = Vec::new();
+    for (k, v) in opts(args)? {
+        match k.as_str() {
+            "server" => server = parse_server(&v)?,
+            "conc" => conc = v.parse().map_err(|_| format!("bad conc '{v}'"))?,
+            "size" => size = parse_size(&v)?,
+            "config" => {
+                let text = std::fs::read_to_string(&v)
+                    .map_err(|e| format!("cannot read {v}: {e}"))?;
+                base_cfg = Some(
+                    serde_json::from_str(&text).map_err(|e| format!("bad config {v}: {e}"))?,
+                );
+            }
+            "dump-config" => dump_to = Some(v),
+            "json" => json_to = Some(v),
+            _ => cfg_mods.push((k, v)),
+        }
+    }
+    let mut cfg = base_cfg.unwrap_or_else(|| ExperimentConfig::micro(conc, size));
+    for (k, v) in cfg_mods {
+        match k.as_str() {
+            "latency" => cfg.tcp.added_latency = parse_latency(&v)?,
+            "measure" => {
+                cfg.measure = SimDuration::from_secs(v.parse().map_err(|_| "bad measure")?)
+            }
+            "warmup" => cfg.warmup = SimDuration::from_secs(v.parse().map_err(|_| "bad warmup")?),
+            "cores" => cfg.cpu.cores = v.parse().map_err(|_| "bad cores")?,
+            "spin-limit" => cfg.write_spin_limit = v.parse().map_err(|_| "bad spin limit")?,
+            "seed" => cfg.clients.seed = v.parse().map_err(|_| "bad seed")?,
+            "sndbuf" => {
+                cfg.tcp.send_buf = if v == "auto" {
+                    SendBufPolicy::AutoTune {
+                        min: 16 * 1024,
+                        max: 4 * 1024 * 1024,
+                    }
+                } else {
+                    SendBufPolicy::Fixed(parse_size(&v)?)
+                };
+            }
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    if let Some(path) = dump_to {
+        let text = serde_json::to_string_pretty(&cfg).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote experiment config to {path}");
+        return Ok(());
+    }
+    let s = Experiment::new(cfg).run(server);
+    if let Some(path) = json_to {
+        let text = serde_json::to_string_pretty(&s).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    println!("server        : {}", s.server);
+    println!("concurrency   : {}", s.concurrency);
+    println!("response size : {} B", s.response_size);
+    println!("added latency : {} us (one-way)", s.added_latency_us);
+    println!("throughput    : {:.1} req/s ({} completions)", s.throughput, s.completions);
+    println!(
+        "response time : mean {:.2} ms, p50 {:.2} ms, p99 {:.2} ms",
+        s.mean_rt_us as f64 / 1000.0,
+        s.p50_rt_us as f64 / 1000.0,
+        s.p99_rt_us as f64 / 1000.0
+    );
+    println!(
+        "context sw    : {:.2}/req ({:.0}/s)",
+        s.cs_per_req, s.cs_per_sec
+    );
+    println!(
+        "write calls   : {:.2}/req ({:.2} zero-return spins/req)",
+        s.writes_per_req, s.spins_per_req
+    );
+    println!(
+        "cpu           : {:.1}% busy ({:.1}% user / {:.1}% sys of capacity)",
+        s.cpu.utilization() * 100.0,
+        s.cpu.user * 100.0,
+        s.cpu.sys * 100.0
+    );
+    let findings = asyncinv::advisor::diagnose(&s);
+    if findings.is_empty() {
+        println!("diagnosis     : healthy");
+    } else {
+        println!("diagnosis     :");
+        for f in findings {
+            println!("  - {f}");
+        }
+    }
+    Ok(())
+}
+
+fn run_rubbos(args: &[String]) -> Result<(), String> {
+    let mut server = ServerKind::SyncThread;
+    let mut users = 5000usize;
+    let mut measure: Option<u64> = None;
+    for (k, v) in opts(args)? {
+        match k.as_str() {
+            "server" => server = parse_server(&v)?,
+            "users" => users = v.parse().map_err(|_| format!("bad users '{v}'"))?,
+            "measure" => measure = Some(v.parse().map_err(|_| "bad measure")?),
+            other => return Err(format!("unknown flag --{other}")),
+        }
+    }
+    if !matches!(server, ServerKind::SyncThread | ServerKind::AsyncPool) {
+        return Err("rubbos compares --server sync (Tomcat 7) and --server async (Tomcat 8)".into());
+    }
+    let mut e = RubbosExperiment::new(users);
+    if let Some(m) = measure {
+        e.measure = SimDuration::from_secs(m);
+    }
+    let s = e.run(server);
+    println!("tomcat        : {}", s.server);
+    println!("users         : {}", s.users);
+    println!("throughput    : {:.1} req/s ({} completions)", s.throughput, s.completions);
+    println!("response time : mean {:.1} ms, p99 {:.1} ms", s.mean_rt_ms, s.p99_rt_ms);
+    println!("tomcat cpu    : {:.1}%", s.tomcat_cpu * 100.0);
+    println!("ctx switches  : {:.0}/s", s.cs_per_sec);
+    println!("mysql util    : {:.1}%", s.db_util * 100.0);
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! # asyncinv — asynchronous-invocation performance lab
+//!
+//! A full reproduction, as a deterministic discrete-event simulation, of
+//! *"Improving Asynchronous Invocation Performance in Client-server
+//! Systems"* (Zhang, Wang, Kanemasa — ICDCS 2018).
+//!
+//! The paper shows that asynchronous event-driven servers can lose to
+//! plain thread-per-connection servers for two non-obvious reasons — the
+//! **context-switch overhead** of one-event-one-handler processing flows
+//! and the **write-spin problem** of non-blocking writes against the TCP
+//! send buffer — and proposes **HybridNetty**, which profiles requests at
+//! runtime and routes each down its most efficient execution path. This
+//! crate is the public API over the substrates that reproduce all of it:
+//!
+//! * [`ServerKind`] — the six server architectures of the paper.
+//! * [`Experiment`]/[`ExperimentConfig`] — closed-loop micro-benchmark
+//!   cells (JMeter-style, paper Sections III–V).
+//! * [`rubbos`] — the 3-tier RUBBoS macro-benchmark (paper Section II).
+//! * [`figures`] — one preset per table/figure of the paper, returning
+//!   structured results; the `asyncinv-bench` harness binaries print them.
+//! * [`prelude`] — convenient glob import for examples and tests.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use asyncinv::prelude::*;
+//!
+//! // Compare the thread-based and single-threaded async servers on 0.1 KB
+//! // responses at concurrency 8 (a cell of the paper's Fig 4a).
+//! let mut cfg = ExperimentConfig::micro(8, 100);
+//! cfg.warmup = SimDuration::from_millis(200);
+//! cfg.measure = SimDuration::from_secs(1);
+//! let exp = Experiment::new(cfg);
+//! let sync = exp.run(ServerKind::SyncThread);
+//! let single = exp.run(ServerKind::SingleThread);
+//! assert!(single.throughput > sync.throughput);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod advisor;
+pub mod figures;
+
+pub use asyncinv_metrics::{
+    find_knee, fmt_f64, littles_law_residual, Align, Chart, ClassSummary, CpuShare, Histogram,
+    RunSummary, Series, SweepPoint, Table, ThroughputWindow,
+};
+pub use asyncinv_servers::{
+    Ctx, EngineEvent, Experiment, ExperimentConfig, ServerKind, ServerModel, ServiceProfile,
+};
+pub use asyncinv_simcore::{SimDuration, SimRng, SimTime};
+
+/// The RUBBoS 3-tier macro benchmark (paper Section II / Fig 1).
+pub mod rubbos {
+    pub use asyncinv_servers::rubbos_engine::{InteractionSummary, RubbosExperiment, RubbosSummary};
+    pub use asyncinv_workload::rubbos::{
+        interactions, mean_response_bytes, Interaction, Navigator, RubbosConfig,
+    };
+}
+
+/// Workload building blocks re-exported for experiment construction.
+pub mod workload {
+    pub use asyncinv_workload::{
+        ArrivalMode, ClientConfig, ClientEvent, ClientPool, Mix, PushModel, RequestClass,
+        RequestSpec, SizeDrift, Station,
+        StationEvent, ThinkTime, UserId, ZipfSampler,
+    };
+}
+
+/// Substrate models, exposed for custom experiments and ablations.
+pub mod substrate {
+    pub use asyncinv_cpu::{
+        Burst, BurstKind, Completion, CoreId, CpuConfig, CpuEvent, CpuModel, CpuStats, SchedPolicy,
+        CpuTimeBreakdown, StatsWindow, ThreadId,
+    };
+    pub use asyncinv_tcp::{
+        ConnId, ConnStats, Connection, SendBufPolicy, TcpConfig, TcpEvent, TcpNotice, TcpWorld,
+        WorldStats,
+    };
+}
+
+/// Glob-import convenience: `use asyncinv::prelude::*;`.
+pub mod prelude {
+    pub use crate::figures::{self, Fidelity};
+    pub use crate::rubbos::{RubbosExperiment, RubbosSummary};
+    pub use crate::substrate::{CpuConfig, SendBufPolicy, TcpConfig};
+    pub use crate::workload::{Mix, ThinkTime};
+    pub use crate::{
+        Experiment, ExperimentConfig, RunSummary, ServerKind, ServiceProfile, SimDuration,
+        SimTime, Table,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn public_api_round_trip() {
+        let mut cfg = ExperimentConfig::micro(2, 100);
+        cfg.warmup = SimDuration::from_millis(100);
+        cfg.measure = SimDuration::from_millis(400);
+        let s = Experiment::new(cfg).run(ServerKind::Hybrid);
+        assert_eq!(s.server, "HybridNetty");
+        assert!(s.completions > 0);
+    }
+}

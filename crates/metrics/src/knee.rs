@@ -1,0 +1,132 @@
+//! Saturation-knee detection for load sweeps.
+//!
+//! The paper's Fig 1 claim is about *where systems saturate* ("SYS_tomcatV7
+//! saturates at workload 11000 while SYS_tomcatV8 saturates at 9000").
+//! This module finds that knee automatically from a (load, throughput,
+//! response-time) sweep so the harness can report it instead of leaving
+//! the reader to eyeball a table.
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load (users, connections, ...).
+    pub load: f64,
+    /// Measured throughput at that load.
+    pub throughput: f64,
+    /// Mean response time at that load, in any consistent unit.
+    pub response_time: f64,
+}
+
+/// Finds the saturation knee of a load sweep: the first point where
+/// throughput stops tracking offered load (marginal gain below
+/// `gain_threshold` of the ideal slope) **or** the response time exceeds
+/// `rt_factor`× the minimum observed response time. Returns the index of
+/// the knee point, or `None` if the sweep never saturates.
+///
+/// Points must be sorted by increasing load.
+///
+/// ```
+/// use asyncinv_metrics::{find_knee, SweepPoint};
+/// let sweep: Vec<SweepPoint> = [
+///     (1000.0, 140.0, 3.0),
+///     (3000.0, 430.0, 3.0),
+///     (5000.0, 700.0, 3.5),
+///     (7000.0, 990.0, 4.0),
+///     (9000.0, 1280.0, 6.0),
+///     (11000.0, 1530.0, 250.0), // RT blows up: saturation
+///     (13000.0, 1520.0, 1600.0),
+/// ]
+/// .iter()
+/// .map(|&(load, throughput, response_time)| SweepPoint { load, throughput, response_time })
+/// .collect();
+/// assert_eq!(find_knee(&sweep, 0.3, 10.0), Some(5));
+/// ```
+///
+/// # Panics
+///
+/// Panics if the points are not strictly increasing in load.
+pub fn find_knee(points: &[SweepPoint], gain_threshold: f64, rt_factor: f64) -> Option<usize> {
+    if points.len() < 2 {
+        return None;
+    }
+    let rt_min = points
+        .iter()
+        .map(|p| p.response_time)
+        .fold(f64::INFINITY, f64::min);
+    // Ideal slope: throughput per unit load in the uncongested region
+    // (taken from the first segment).
+    let first = &points[0];
+    let ideal_slope = if first.load > 0.0 {
+        first.throughput / first.load
+    } else {
+        let second = &points[1];
+        assert!(second.load > first.load, "points must be sorted by load");
+        (second.throughput - first.throughput) / (second.load - first.load)
+    };
+    for i in 1..points.len() {
+        let (a, b) = (&points[i - 1], &points[i]);
+        assert!(b.load > a.load, "points must be sorted by load");
+        let marginal = (b.throughput - a.throughput) / (b.load - a.load);
+        if ideal_slope > 0.0 && marginal < gain_threshold * ideal_slope {
+            return Some(i);
+        }
+        if rt_min > 0.0 && b.response_time > rt_factor * rt_min {
+            return Some(i);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(load: f64, tput: f64, rt: f64) -> SweepPoint {
+        SweepPoint {
+            load,
+            throughput: tput,
+            response_time: rt,
+        }
+    }
+
+    #[test]
+    fn linear_sweep_has_no_knee() {
+        let pts: Vec<_> = (1..=5).map(|i| p(i as f64, i as f64 * 10.0, 1.0)).collect();
+        assert_eq!(find_knee(&pts, 0.3, 10.0), None);
+    }
+
+    #[test]
+    fn flat_throughput_is_a_knee() {
+        let pts = vec![p(1.0, 100.0, 1.0), p(2.0, 200.0, 1.0), p(3.0, 205.0, 1.2)];
+        assert_eq!(find_knee(&pts, 0.3, 10.0), Some(2));
+    }
+
+    #[test]
+    fn rt_blowup_is_a_knee_even_with_rising_throughput() {
+        let pts = vec![p(1.0, 100.0, 1.0), p(2.0, 200.0, 1.1), p(3.0, 290.0, 25.0)];
+        assert_eq!(find_knee(&pts, 0.3, 10.0), Some(2));
+    }
+
+    #[test]
+    fn earlier_knee_wins() {
+        let pts = vec![
+            p(1.0, 100.0, 1.0),
+            p(2.0, 105.0, 1.0), // flat already
+            p(3.0, 106.0, 50.0),
+        ];
+        assert_eq!(find_knee(&pts, 0.3, 10.0), Some(1));
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert_eq!(find_knee(&[p(1.0, 10.0, 1.0)], 0.3, 10.0), None);
+        assert_eq!(find_knee(&[], 0.3, 10.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_points_panic() {
+        let pts = vec![p(2.0, 10.0, 1.0), p(1.0, 20.0, 1.0)];
+        let _ = find_knee(&pts, 0.3, 10.0);
+    }
+}

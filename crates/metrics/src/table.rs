@@ -1,0 +1,201 @@
+//! Plain-text table rendering for the experiment harnesses.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Align {
+    /// Left-aligned (labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A plain-text table with a header row, used by the `fig*`/`table*`
+/// binaries to print paper-style rows.
+///
+/// ```
+/// use asyncinv_metrics::{Table, Align};
+///
+/// let mut t = Table::new(vec!["server".into(), "tput [req/s]".into()]);
+/// t.align(1, Align::Right);
+/// t.row(vec!["sTomcat-Sync".into(), "35000".into()]);
+/// t.row(vec!["SingleT-Async".into(), "42800".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("sTomcat-Sync"));
+/// assert!(s.lines().count() >= 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `header` is empty.
+    pub fn new(header: Vec<String>) -> Self {
+        assert!(!header.is_empty(), "a table needs at least one column");
+        let n = header.len();
+        Table {
+            header,
+            aligns: vec![Align::Left; n],
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the alignment of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align(&mut self, col: usize, a: Align) -> &mut Self {
+        self.aligns[col] = a;
+        self
+    }
+
+    /// Right-aligns every column except the first (the usual label+numbers
+    /// layout).
+    pub fn numeric(&mut self) -> &mut Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (no quoting; cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut s = self.header.join(",");
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&r.join(","));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{:<width$}", cells[i], width = widths[i])?,
+                    Align::Right => write!(f, "{:>width$}", cells[i], width = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            write_row(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `prec` decimals; convenience for building rows.
+///
+/// ```
+/// assert_eq!(asyncinv_metrics::fmt_f64(1.23456, 2), "1.23");
+/// ```
+pub fn fmt_f64(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.numeric();
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = sample().to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Right-aligned numbers: "1" ends at the same column as "12345".
+        assert!(lines[2].ends_with("    1"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn csv_export() {
+        let csv = sample().to_csv();
+        assert_eq!(csv, "name,value\na,1\nlong-name,12345\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_mismatch_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_header_panics() {
+        let _ = Table::new(vec![]);
+    }
+
+    #[test]
+    fn fmt_f64_precision() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(10.0, 0), "10");
+    }
+
+    #[test]
+    fn len_tracks_rows() {
+        let t = sample();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Throughput measurement over a time window.
+
+use asyncinv_simcore::{SimDuration, SimTime};
+
+/// Counts request completions inside a measurement window and in 1-second
+/// buckets, like the JMeter summariser the paper's figures are drawn from.
+///
+/// ```
+/// use asyncinv_metrics::ThroughputWindow;
+/// use asyncinv_simcore::SimTime;
+///
+/// let mut w = ThroughputWindow::new(SimTime::from_secs(1), SimTime::from_secs(11));
+/// for i in 0..1000 {
+///     w.record(SimTime::from_millis(1_000 + i * 10)); // one per 10 ms
+/// }
+/// assert_eq!(w.completions(), 1000);
+/// assert!((w.rate_per_sec() - 100.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThroughputWindow {
+    start: SimTime,
+    end: SimTime,
+    completions: u64,
+    ignored: u64,
+    buckets: Vec<u64>,
+}
+
+impl ThroughputWindow {
+    /// Creates a window measuring `[start, end)`. Completions outside the
+    /// window are counted separately (warm-up / drain traffic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    pub fn new(start: SimTime, end: SimTime) -> Self {
+        assert!(end > start, "window must have positive length");
+        let secs = end.duration_since(start).as_nanos().div_ceil(1_000_000_000) as usize;
+        ThroughputWindow {
+            start,
+            end,
+            completions: 0,
+            ignored: 0,
+            buckets: vec![0; secs],
+        }
+    }
+
+    /// Window start.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Window end.
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    /// Records a completion at `t`.
+    pub fn record(&mut self, t: SimTime) {
+        if t < self.start || t >= self.end {
+            self.ignored += 1;
+            return;
+        }
+        self.completions += 1;
+        let idx = (t.duration_since(self.start).as_nanos() / 1_000_000_000) as usize;
+        self.buckets[idx] += 1;
+    }
+
+    /// Completions inside the window.
+    pub fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    /// Completions outside the window (warm-up and drain).
+    pub fn ignored(&self) -> u64 {
+        self.ignored
+    }
+
+    /// Average completion rate over the window, per second.
+    pub fn rate_per_sec(&self) -> f64 {
+        let len = self.end.duration_since(self.start);
+        if len.is_zero() {
+            return 0.0;
+        }
+        self.completions as f64 / len.as_secs_f64()
+    }
+
+    /// Per-second completion counts (for saturation/stability checks).
+    pub fn per_second(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Coefficient of variation of the per-second buckets, skipping
+    /// incomplete trailing buckets. Near zero means the run reached steady
+    /// state; experiments assert on this.
+    pub fn rate_cv(&self) -> f64 {
+        let full_secs = (self.end.duration_since(self.start).as_nanos() / 1_000_000_000) as usize;
+        let data = &self.buckets[..full_secs.min(self.buckets.len())];
+        if data.len() < 2 {
+            return 0.0;
+        }
+        let mean = data.iter().sum::<u64>() as f64 / data.len() as f64;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = data
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / data.len() as f64;
+        var.sqrt() / mean
+    }
+
+    /// The window length.
+    pub fn len(&self) -> SimDuration {
+        self.end.duration_since(self.start)
+    }
+
+    /// `true` if no completions were recorded inside the window.
+    pub fn is_empty(&self) -> bool {
+        self.completions == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_inside_window() {
+        let mut w = ThroughputWindow::new(SimTime::from_secs(1), SimTime::from_secs(2));
+        w.record(SimTime::from_millis(500)); // warm-up
+        w.record(SimTime::from_millis(1500)); // inside
+        w.record(SimTime::from_secs(2)); // boundary: outside (half-open)
+        assert_eq!(w.completions(), 1);
+        assert_eq!(w.ignored(), 2);
+    }
+
+    #[test]
+    fn rate_is_per_second() {
+        let mut w = ThroughputWindow::new(SimTime::ZERO, SimTime::from_secs(4));
+        for i in 0..400u64 {
+            w.record(SimTime::from_millis(i * 10));
+        }
+        assert!((w.rate_per_sec() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_second_buckets() {
+        let mut w = ThroughputWindow::new(SimTime::ZERO, SimTime::from_secs(3));
+        w.record(SimTime::from_millis(100));
+        w.record(SimTime::from_millis(1100));
+        w.record(SimTime::from_millis(1200));
+        assert_eq!(w.per_second(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn cv_zero_for_steady_rate() {
+        let mut w = ThroughputWindow::new(SimTime::ZERO, SimTime::from_secs(5));
+        for s in 0..5u64 {
+            for i in 0..10u64 {
+                w.record(SimTime::from_millis(s * 1000 + i * 50));
+            }
+        }
+        assert!(w.rate_cv() < 1e-9);
+    }
+
+    #[test]
+    fn cv_positive_for_bursty_rate() {
+        let mut w = ThroughputWindow::new(SimTime::ZERO, SimTime::from_secs(4));
+        for i in 0..100u64 {
+            w.record(SimTime::from_millis(i)); // all in second 0
+        }
+        assert!(w.rate_cv() > 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_window_rejected() {
+        let _ = ThroughputWindow::new(SimTime::from_secs(1), SimTime::from_secs(1));
+    }
+}

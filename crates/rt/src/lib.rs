@@ -1,0 +1,35 @@
+//! # asyncinv-rt — real-socket demonstration runtime
+//!
+//! The simulation crates reproduce the paper's results deterministically;
+//! this crate shows the core *mechanism* — the write-spin of non-blocking
+//! `write()` against a full TCP send buffer — on a **real kernel socket**,
+//! for credibility. It contains a miniature client-server runtime over
+//! `std::net`:
+//!
+//! * [`MiniServer`] — a loopback server answering `GET <n>` requests with
+//!   `n` bytes, in one of three write disciplines mirroring the paper's
+//!   architectures: [`ServerMode::ThreadPerConn`] (blocking write, one
+//!   syscall semantics), [`ServerMode::SingleLoopSpin`] (one thread,
+//!   non-blocking unbounded spin) and [`ServerMode::BoundedSpin`]
+//!   (Netty-style `writeSpin` budget with round-robin resumption).
+//! * [`fetch`] / [`fetch_slowly`] — clients; the slow variant delays its
+//!   reads so the connection's flow-control windows fill and the server
+//!   observes `WouldBlock` — the real-world analogue of the paper's Fig 5.
+//! * [`WriteStats`] — shared counters of `write()` calls and
+//!   `WouldBlock` returns, the real Table IV signature.
+//!
+//! The event loop here deliberately polls with `WouldBlock` (no
+//! epoll/mio): the paper is about what happens *inside* such loops, and
+//! the substrate crates simulate readiness properly; this crate only needs
+//! to exhibit kernel behaviour. Not intended as a production server.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod server;
+mod stats;
+
+pub use client::{fetch, fetch_slowly};
+pub use server::{MiniServer, ServerMode};
+pub use stats::WriteStats;

@@ -1,0 +1,134 @@
+//! Shared write-path counters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters of real `write()` behaviour, shared between the server threads
+/// and the observing test/demo code.
+///
+/// ```
+/// use asyncinv_rt::WriteStats;
+/// let stats = WriteStats::new();
+/// stats.record_write(1024);
+/// stats.record_would_block();
+/// assert_eq!(stats.write_calls(), 2);
+/// assert_eq!(stats.would_blocks(), 1);
+/// assert_eq!(stats.bytes_written(), 1024);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WriteStats {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    write_calls: AtomicU64,
+    would_blocks: AtomicU64,
+    bytes: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl WriteStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        WriteStats::default()
+    }
+
+    /// Records a `write()` call that accepted `n` bytes (`n` may be 0 for
+    /// a short success; `WouldBlock` uses
+    /// [`WriteStats::record_would_block`]).
+    pub fn record_write(&self, n: usize) {
+        self.inner.write_calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Records a `write()` call that returned `WouldBlock` — the
+    /// write-spin signature.
+    pub fn record_would_block(&self) {
+        self.inner.write_calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.would_blocks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed request.
+    pub fn record_request(&self) {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total `write()` calls (including `WouldBlock` returns).
+    pub fn write_calls(&self) -> u64 {
+        self.inner.write_calls.load(Ordering::Relaxed)
+    }
+
+    /// `write()` calls that returned `WouldBlock`.
+    pub fn would_blocks(&self) -> u64 {
+        self.inner.would_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes accepted by the kernel.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Requests completed.
+    pub fn requests(&self) -> u64 {
+        self.inner.requests.load(Ordering::Relaxed)
+    }
+
+    /// Write calls per completed request (0 if no requests yet).
+    pub fn writes_per_request(&self) -> f64 {
+        let reqs = self.requests();
+        if reqs == 0 {
+            0.0
+        } else {
+            self.write_calls() as f64 / reqs as f64
+        }
+    }
+}
+
+impl fmt::Display for WriteStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} write() calls ({} WouldBlock), {} bytes, {} requests",
+            self.write_calls(),
+            self.would_blocks(),
+            self.bytes_written(),
+            self.requests()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = WriteStats::new();
+        s.record_write(10);
+        s.record_write(20);
+        s.record_would_block();
+        s.record_request();
+        assert_eq!(s.write_calls(), 3);
+        assert_eq!(s.would_blocks(), 1);
+        assert_eq!(s.bytes_written(), 30);
+        assert_eq!(s.requests(), 1);
+        assert!((s.writes_per_request() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = WriteStats::new();
+        let b = a.clone();
+        a.record_write(5);
+        assert_eq!(b.write_calls(), 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = WriteStats::new();
+        s.record_would_block();
+        assert!(s.to_string().contains("WouldBlock"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The server architectures under study.
+//!
+//! Each architecture is an event-driven state machine implementing
+//! [`ServerModel`]: the experiment engine feeds it request arrivals,
+//! writable notifications and CPU-burst completions, and the model reacts by
+//! scheduling bursts on its threads and writing response bytes to
+//! connections. Context switches are *not* scripted anywhere — they emerge
+//! in the CPU scheduler from the thread handoffs each architecture performs,
+//! which is how the paper's Table II counts (4 / 2 / 0 / 0) are reproduced
+//! rather than assumed.
+
+mod async_pool;
+mod netty;
+mod single_thread;
+mod staged;
+mod sync_thread;
+
+pub(crate) use async_pool::AsyncPool;
+pub(crate) use netty::NettyLike;
+pub(crate) use single_thread::SingleThread;
+pub(crate) use staged::Staged;
+pub(crate) use sync_thread::SyncThread;
+
+use asyncinv_cpu::ThreadId;
+use asyncinv_tcp::ConnId;
+
+use crate::engine::{Ctx, ExperimentConfig};
+
+/// A server architecture: reacts to engine events by running bursts and
+/// writing responses.
+///
+/// Implementations are driven entirely by the [`Experiment`](crate::Experiment)
+/// engine; the trait is public so downstream users can plug in custom
+/// architectures (e.g. for ablations).
+pub trait ServerModel {
+    /// Display name used in result tables (matches the paper's names).
+    fn name(&self) -> &'static str;
+
+    /// Called once before any traffic; spawn threads here. `conns` is the
+    /// number of pre-opened client connections.
+    fn init(&mut self, ctx: &mut Ctx<'_>, conns: usize);
+
+    /// A complete request arrived on `conn` (socket readable).
+    fn on_request(&mut self, ctx: &mut Ctx<'_>, conn: ConnId);
+
+    /// ACKs freed send-buffer space on `conn` (socket writable).
+    fn on_writable(&mut self, ctx: &mut Ctx<'_>, conn: ConnId);
+
+    /// A previously submitted burst of `tid` completed; `tag` is the value
+    /// given to [`Ctx::submit`].
+    fn on_burst(&mut self, ctx: &mut Ctx<'_>, tid: ThreadId, tag: u64);
+
+    /// Architecture-internal counters for tests and ablation harnesses
+    /// (e.g. the hybrid server's reclassification count).
+    fn debug_counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
+}
+
+/// The six architectures measured in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ServerKind {
+    /// sTomcat-Sync: dedicated thread per connection, blocking I/O.
+    SyncThread,
+    /// sTomcat-Async: reactor + worker pool, read and write events handled
+    /// by different workers (the 4-context-switch flow of the paper's
+    /// Fig 3).
+    AsyncPool,
+    /// sTomcat-Async-Fix: reactor + worker pool with read and write merged
+    /// into one worker (2 context switches).
+    AsyncPoolFix,
+    /// SingleT-Async: one thread runs the event loop and all handlers;
+    /// writes spin unboundedly.
+    SingleThread,
+    /// NettyServer: connection-owning workers, pipeline overhead, bounded
+    /// writeSpin with park/resume.
+    NettyLike,
+    /// HybridNetty: runtime profiling routes light requests down a
+    /// SingleT-style fast path and heavy ones down the Netty path.
+    Hybrid,
+    /// Staged-SEDA: the SEDA/WatPipe pipeline of stages with per-stage
+    /// thread pools (described but not benchmarked by the paper; included
+    /// as an extension).
+    Staged,
+}
+
+impl ServerKind {
+    /// All seven kinds: the paper's six plus the staged extension.
+    pub const ALL: [ServerKind; 7] = [
+        ServerKind::SyncThread,
+        ServerKind::AsyncPool,
+        ServerKind::AsyncPoolFix,
+        ServerKind::SingleThread,
+        ServerKind::NettyLike,
+        ServerKind::Hybrid,
+        ServerKind::Staged,
+    ];
+
+    /// The six architectures the paper itself measures.
+    pub const PAPER: [ServerKind; 6] = [
+        ServerKind::SyncThread,
+        ServerKind::AsyncPool,
+        ServerKind::AsyncPoolFix,
+        ServerKind::SingleThread,
+        ServerKind::NettyLike,
+        ServerKind::Hybrid,
+    ];
+
+    /// The paper's name for this architecture.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            ServerKind::SyncThread => "sTomcat-Sync",
+            ServerKind::AsyncPool => "sTomcat-Async",
+            ServerKind::AsyncPoolFix => "sTomcat-Async-Fix",
+            ServerKind::SingleThread => "SingleT-Async",
+            ServerKind::NettyLike => "NettyServer",
+            ServerKind::Hybrid => "HybridNetty",
+            ServerKind::Staged => "Staged-SEDA",
+        }
+    }
+
+    /// Instantiates the architecture with the experiment's parameters.
+    pub fn build(self, cfg: &ExperimentConfig) -> Box<dyn ServerModel> {
+        match self {
+            ServerKind::SyncThread => Box::new(SyncThread::new()),
+            ServerKind::AsyncPool => {
+                Box::new(AsyncPool::new(false, cfg.pool_workers, cfg.tomcat_real_nio))
+            }
+            ServerKind::AsyncPoolFix => {
+                Box::new(AsyncPool::new(true, cfg.pool_workers, cfg.tomcat_real_nio))
+            }
+            ServerKind::SingleThread => Box::new(SingleThread::new()),
+            ServerKind::NettyLike => {
+                Box::new(NettyLike::new(cfg.netty_workers, cfg.write_spin_limit, false))
+            }
+            ServerKind::Hybrid => {
+                Box::new(NettyLike::new(cfg.netty_workers, cfg.write_spin_limit, true))
+            }
+            ServerKind::Staged => Box::new(Staged::new(cfg.staged_workers)),
+        }
+    }
+}
+
+impl std::fmt::Display for ServerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Packs (phase, connection index, worker index) into a burst tag.
+pub(crate) fn tag(phase: u8, conn: usize, worker: u16) -> u64 {
+    debug_assert!(conn < (1 << 40), "connection index too large for tag");
+    phase as u64 | ((conn as u64) << 8) | ((worker as u64) << 48)
+}
+
+/// Reverses [`tag`].
+pub(crate) fn untag(t: u64) -> (u8, usize, u16) {
+    ((t & 0xFF) as u8, ((t >> 8) & 0xFF_FFFF_FFFF) as usize, (t >> 48) as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for (p, c, w) in [(0u8, 0usize, 0u16), (7, 123_456, 42), (255, (1 << 40) - 1, u16::MAX)] {
+            assert_eq!(untag(tag(p, c, w)), (p, c, w));
+        }
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(ServerKind::SyncThread.paper_name(), "sTomcat-Sync");
+        assert_eq!(ServerKind::Hybrid.to_string(), "HybridNetty");
+        assert_eq!(ServerKind::ALL.len(), 7);
+        assert_eq!(ServerKind::PAPER.len(), 6);
+        assert_eq!(ServerKind::Staged.paper_name(), "Staged-SEDA");
+    }
+}

@@ -1,0 +1,452 @@
+//! The experiment engine: wires clients, TCP, CPU and a server model
+//! together and measures a run.
+
+use asyncinv_cpu::{Burst, CpuConfig, CpuEvent, CpuModel, ThreadId};
+use asyncinv_metrics::{ClassSummary, CpuShare, Histogram, RunSummary, ThroughputWindow};
+use asyncinv_simcore::{SimDuration, SimTime, Simulation, TraceBuffer};
+use asyncinv_tcp::{ConnId, TcpConfig, TcpEvent, TcpNotice, TcpWorld};
+use asyncinv_workload::{ClientConfig, ClientEvent, ClientPool, Mix, ThinkTime, UserId};
+
+use crate::arch::{ServerKind, ServerModel};
+use serde::{Deserialize, Serialize};
+use crate::profile::ServiceProfile;
+
+/// Everything a single experiment cell needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Machine model.
+    pub cpu: CpuConfig,
+    /// Network model.
+    pub tcp: TcpConfig,
+    /// Closed-loop client pool.
+    pub clients: ClientConfig,
+    /// Request-processing cost model.
+    pub profile: ServiceProfile,
+    /// Warm-up time excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measurement window length.
+    pub measure: SimDuration,
+    /// Worker-pool size of the sTomcat-Async variants (Tomcat's default
+    /// `maxThreads` is 200).
+    pub pool_workers: usize,
+    /// Event-loop thread count for NettyServer/HybridNetty.
+    pub netty_workers: usize,
+    /// Workers per stage for the Staged-SEDA extension.
+    pub staged_workers: usize,
+    /// Netty's `writeSpinCount` (default 16 in Netty 4).
+    pub write_spin_limit: u32,
+    /// Model the full Tomcat 8 NIO poller (per-event select cycles,
+    /// interest re-registration round trips) instead of the paper's
+    /// simplified sTomcat-Async. Off for the micro-benchmarks (which study
+    /// the simplified servers), on in the RUBBoS macro engine (which
+    /// upgrades the *real* Tomcat).
+    pub tomcat_real_nio: bool,
+    /// Capacity of the event-flow trace ring buffer (0 disables tracing).
+    /// Use [`Experiment::run_traced`] to retrieve the trace.
+    pub trace_capacity: usize,
+}
+
+impl ExperimentConfig {
+    /// A micro-benchmark cell: single-core machine, default LAN, zero think
+    /// time, a single request class of `response_bytes`.
+    pub fn micro(concurrency: usize, response_bytes: usize) -> Self {
+        ExperimentConfig::with_mix(
+            concurrency,
+            Mix::single(format!("{response_bytes}B"), response_bytes),
+        )
+    }
+
+    /// A micro-benchmark cell with an explicit request mix.
+    pub fn with_mix(concurrency: usize, mix: Mix) -> Self {
+        ExperimentConfig {
+            cpu: CpuConfig::single_core(),
+            tcp: TcpConfig::default(),
+            clients: ClientConfig {
+                concurrency,
+                think: ThinkTime::Zero,
+                mix,
+                seed: 42,
+                arrivals: asyncinv_workload::ArrivalMode::Closed,
+            },
+            profile: ServiceProfile::default(),
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(10),
+            pool_workers: 200,
+            netty_workers: 1,
+            staged_workers: 4,
+            write_spin_limit: 16,
+            tomcat_real_nio: false,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Sets the injected one-way network latency (the paper's `tc`).
+    pub fn with_latency(mut self, one_way: SimDuration) -> Self {
+        self.tcp.added_latency = one_way;
+        self
+    }
+}
+
+/// Union event type routed by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// Scheduler event.
+    Cpu(CpuEvent),
+    /// Network event.
+    Tcp(TcpEvent),
+    /// Client-pool event.
+    Client(ClientEvent),
+    /// A request's bytes reached the server socket.
+    RequestArrive {
+        /// Connection now readable.
+        conn: ConnId,
+    },
+}
+
+/// Per-connection request info exposed to server models (what the server
+/// learns by parsing the request).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ConnInfo {
+    pub response_bytes: usize,
+    pub class: usize,
+}
+
+/// The server model's handle onto the simulated machine: submit CPU bursts,
+/// perform socket writes, inspect the current request.
+///
+/// A fresh `Ctx` is constructed for every callback; follow-up events the
+/// substrates produce are flushed to the simulation queue by the engine
+/// after the callback returns.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) cpu: &'a mut CpuModel,
+    pub(crate) tcp: &'a mut TcpWorld,
+    pub(crate) profile: &'a ServiceProfile,
+    pub(crate) conn_info: &'a [ConnInfo],
+    pub(crate) cpu_out: &'a mut Vec<(SimTime, CpuEvent)>,
+    pub(crate) tcp_out: &'a mut Vec<(SimTime, TcpEvent)>,
+    pub(crate) trace: &'a mut TraceBuffer,
+}
+
+impl Ctx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The cost model.
+    pub fn profile(&self) -> &ServiceProfile {
+        self.profile
+    }
+
+    /// Spawns a server thread (blocked until its first burst).
+    pub fn spawn_thread(&mut self, name: impl Into<String>) -> ThreadId {
+        self.cpu.spawn_thread(name)
+    }
+
+    /// Submits a CPU burst for `tid`; completion is delivered back to the
+    /// model via [`ServerModel::on_burst`] with `tag`.
+    pub fn submit(&mut self, tid: ThreadId, burst: Burst, tag: u64) {
+        self.cpu.submit(self.now, tid, burst, tag, self.cpu_out);
+    }
+
+    /// Non-blocking `socket.write()` on `conn` (counted, may return 0).
+    pub fn write(&mut self, conn: ConnId, len: usize) -> usize {
+        self.tcp.write(self.now, conn, len, self.tcp_out)
+    }
+
+    /// Blocking-write kernel continuation (not counted as a syscall).
+    pub fn write_continue(&mut self, conn: ConnId, len: usize) -> usize {
+        self.tcp.write_continue(self.now, conn, len, self.tcp_out)
+    }
+
+    /// Free send-buffer space on `conn`.
+    pub fn space(&self, conn: ConnId) -> usize {
+        self.tcp.conn(conn).space()
+    }
+
+    /// Response size of the request currently pending on `conn`.
+    pub fn response_bytes(&self, conn: ConnId) -> usize {
+        self.conn_info[conn.0].response_bytes
+    }
+
+    /// Request class (index into the workload mix) pending on `conn`.
+    pub fn request_class(&self, conn: ConnId) -> usize {
+        self.conn_info[conn.0].class
+    }
+
+    /// `true` when event-flow tracing is enabled; guard trace formatting
+    /// with this to keep disabled runs free.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// Records an event-flow trace entry (no-op when tracing is disabled).
+    pub fn trace(&mut self, message: String) {
+        self.trace.record(self.now, "server", message);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReqTrack {
+    sent_at: SimTime,
+    remaining: usize,
+}
+
+/// Runs one experiment cell.
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    cfg: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Creates an experiment from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TCP configuration is invalid or the measurement
+    /// window is empty.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        if let Err(e) = cfg.tcp.validate() {
+            panic!("invalid TcpConfig: {e}");
+        }
+        assert!(!cfg.measure.is_zero(), "measurement window must be positive");
+        Experiment { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// Runs the given architecture and returns its summary.
+    pub fn run(&self, kind: ServerKind) -> RunSummary {
+        self.run_detailed(kind).0
+    }
+
+    /// Runs and additionally returns the architecture's internal debug
+    /// counters (e.g. hybrid reclassifications).
+    pub fn run_detailed(&self, kind: ServerKind) -> (RunSummary, Vec<(&'static str, u64)>) {
+        let mut server = kind.build(&self.cfg);
+        let (summary, _) = self.drive(server.as_mut());
+        let counters = server.debug_counters();
+        (summary, counters)
+    }
+
+    /// Runs with event-flow tracing and returns the retained trace (set
+    /// [`ExperimentConfig::trace_capacity`] > 0 or nothing is recorded).
+    pub fn run_traced(&self, kind: ServerKind) -> (RunSummary, TraceBuffer) {
+        let mut server = kind.build(&self.cfg);
+        self.drive(server.as_mut())
+    }
+
+    /// Runs a caller-supplied custom architecture.
+    pub fn run_model(&self, server: &mut dyn ServerModel) -> RunSummary {
+        self.drive(server).0
+    }
+
+    fn drive(&self, server: &mut dyn ServerModel) -> (RunSummary, TraceBuffer) {
+        let cfg = &self.cfg;
+        let n = cfg.clients.concurrency;
+        let warm_end = SimTime::ZERO + cfg.warmup;
+        let end = warm_end + cfg.measure;
+
+        let mut sim: Simulation<EngineEvent> = Simulation::new();
+        let mut cpu = CpuModel::new(cfg.cpu.clone());
+        let mut tcp = TcpWorld::new(cfg.tcp.clone());
+        let mut clients = ClientPool::new(cfg.clients.clone());
+
+        let mut conn_info = vec![ConnInfo::default(); n];
+        let mut req: Vec<Option<ReqTrack>> = vec![None; n];
+        for _ in 0..n {
+            tcp.open(SimTime::ZERO);
+        }
+
+        let mut cpu_out: Vec<(SimTime, CpuEvent)> = Vec::new();
+        let mut tcp_out: Vec<(SimTime, TcpEvent)> = Vec::new();
+        let mut cl_out: Vec<(SimTime, ClientEvent)> = Vec::new();
+
+        let one_way = cfg.tcp.one_way();
+        let mut window = ThroughputWindow::new(warm_end, end);
+        let mut hist = Histogram::new();
+        let mut trace = TraceBuffer::with_capacity(cfg.trace_capacity);
+        let n_classes = cfg.clients.mix.classes().len();
+        let mut class_hist: Vec<Histogram> = (0..n_classes).map(|_| Histogram::new()).collect();
+
+        macro_rules! ctx {
+            ($now:expr) => {
+                Ctx {
+                    now: $now,
+                    cpu: &mut cpu,
+                    tcp: &mut tcp,
+                    profile: &cfg.profile,
+                    conn_info: &conn_info,
+                    cpu_out: &mut cpu_out,
+                    tcp_out: &mut tcp_out,
+                    trace: &mut trace,
+                }
+            };
+        }
+        macro_rules! flush {
+            () => {
+                for (t, e) in cpu_out.drain(..) {
+                    sim.schedule_at(t, EngineEvent::Cpu(e));
+                }
+                for (t, e) in tcp_out.drain(..) {
+                    sim.schedule_at(t, EngineEvent::Tcp(e));
+                }
+                for (t, e) in cl_out.drain(..) {
+                    sim.schedule_at(t, EngineEvent::Client(e));
+                }
+            };
+        }
+
+        {
+            let mut cx = ctx!(SimTime::ZERO);
+            server.init(&mut cx, n);
+        }
+        clients.start(&mut cl_out);
+        flush!();
+
+        let mut cpu_snap = cpu.stats().clone();
+        let mut tcp_snap = tcp.stats();
+        let mut snapped = false;
+
+        loop {
+            // Snapshot counters exactly at the warm-up boundary.
+            if !snapped && sim.peek_time().is_none_or(|t| t >= warm_end) {
+                cpu_snap = cpu.stats().clone();
+                tcp_snap = tcp.stats();
+                snapped = true;
+            }
+            let Some((now, ev)) = sim.next_event_before(end) else {
+                break;
+            };
+            match ev {
+                EngineEvent::Client(ClientEvent::Send { user }) => {
+                    let spec = clients.next_request(now, user);
+                    let conn = ConnId(user.0);
+                    conn_info[conn.0] = ConnInfo {
+                        response_bytes: spec.response_bytes,
+                        class: spec.class,
+                    };
+                    req[conn.0] = Some(ReqTrack {
+                        sent_at: now,
+                        remaining: spec.response_bytes,
+                    });
+                    sim.schedule_at(now + one_way, EngineEvent::RequestArrive { conn });
+                }
+                EngineEvent::Client(ClientEvent::Arrival) => {
+                    if let Some(spec) = clients.on_arrival(now, &mut cl_out) {
+                        let conn = ConnId(spec.user.0);
+                        conn_info[conn.0] = ConnInfo {
+                            response_bytes: spec.response_bytes,
+                            class: spec.class,
+                        };
+                        req[conn.0] = Some(ReqTrack {
+                            sent_at: now,
+                            remaining: spec.response_bytes,
+                        });
+                        sim.schedule_at(now + one_way, EngineEvent::RequestArrive { conn });
+                    }
+                }
+                EngineEvent::RequestArrive { conn } => {
+                    let mut cx = ctx!(now);
+                    server.on_request(&mut cx, conn);
+                }
+                EngineEvent::Cpu(cev) => {
+                    if let Some(done) = cpu.on_event(now, cev, &mut cpu_out) {
+                        {
+                            let mut cx = ctx!(now);
+                            server.on_burst(&mut cx, done.thread, done.tag);
+                        }
+                        cpu.finish_turn(now, done.thread, &mut cpu_out);
+                    }
+                }
+                EngineEvent::Tcp(tev) => match tcp.on_event(now, tev, &mut tcp_out) {
+                    TcpNotice::SpaceFreed { conn, space } => {
+                        if space > 0 {
+                            let mut cx = ctx!(now);
+                            server.on_writable(&mut cx, conn);
+                        }
+                    }
+                    TcpNotice::Delivered { conn, bytes } => {
+                        let track = req[conn.0]
+                            .as_mut()
+                            .expect("delivery for a connection with no request");
+                        debug_assert!(bytes <= track.remaining, "over-delivery");
+                        track.remaining -= bytes;
+                        if track.remaining == 0 {
+                            let rt = now.duration_since(track.sent_at);
+                            window.record(now);
+                            if now >= warm_end && now < end {
+                                hist.record(rt);
+                                class_hist[conn_info[conn.0].class].record(rt);
+                            }
+                            req[conn.0] = None;
+                            clients.complete(now, UserId(conn.0), &mut cl_out);
+                        }
+                    }
+                },
+            }
+            flush!();
+        }
+
+        let completions = window.completions();
+        let cpu_delta = cpu.stats().delta_since(&cpu_snap);
+        let breakdown = cpu_delta.breakdown(cfg.measure, cfg.cpu.cores);
+        let tcp_now = tcp.stats();
+        let writes = tcp_now.write_calls - tcp_snap.write_calls;
+        let spins = tcp_now.zero_writes - tcp_snap.zero_writes;
+        let measure_s = cfg.measure.as_secs_f64();
+        let per_req = |v: u64| {
+            if completions == 0 {
+                0.0
+            } else {
+                v as f64 / completions as f64
+            }
+        };
+
+        let per_class = cfg
+            .clients
+            .mix
+            .classes()
+            .iter()
+            .zip(&class_hist)
+            .map(|(c, h)| ClassSummary {
+                class: c.name.clone(),
+                response_bytes: c.response_bytes,
+                completions: h.count(),
+                mean_rt_us: h.mean().as_micros(),
+                p99_rt_us: h.quantile(0.99).as_micros(),
+            })
+            .collect();
+        let summary = RunSummary {
+            server: server.name().to_string(),
+            concurrency: n,
+            response_size: cfg.clients.mix.mean_response_bytes().round() as usize,
+            added_latency_us: cfg.tcp.added_latency.as_micros(),
+            completions,
+            throughput: window.rate_per_sec(),
+            mean_rt_us: hist.mean().as_micros(),
+            p50_rt_us: hist.quantile(0.50).as_micros(),
+            p95_rt_us: hist.quantile(0.95).as_micros(),
+            p99_rt_us: hist.quantile(0.99).as_micros(),
+            cs_per_sec: cpu_delta.context_switches as f64 / measure_s,
+            cs_per_req: per_req(cpu_delta.context_switches),
+            writes_per_req: per_req(writes),
+            spins_per_req: per_req(spins),
+            cpu: CpuShare {
+                user: breakdown.user_pct() / 100.0,
+                sys: breakdown.sys_pct() / 100.0,
+                idle: 1.0 - breakdown.utilization(),
+            },
+            rate_cv: window.rate_cv(),
+            per_class,
+        };
+        (summary, trace)
+    }
+}

@@ -1,0 +1,44 @@
+//! # asyncinv-servers — the six server architectures and the experiment engine
+//!
+//! This crate is the core of the `asyncinv` reproduction of *"Improving
+//! Asynchronous Invocation Performance in Client-server Systems"* (ICDCS
+//! 2018). It implements, as explicit event-driven state machines over the
+//! CPU-scheduler and TCP substrates, every server architecture the paper
+//! measures (its Table II plus Section V):
+//!
+//! | [`ServerKind`] | Paper name | Flow |
+//! |---|---|---|
+//! | [`ServerKind::SyncThread`] | sTomcat-Sync | dedicated thread per connection, blocking I/O |
+//! | [`ServerKind::AsyncPool`] | sTomcat-Async | reactor dispatches read *and* write events to workers (4 context switches/request) |
+//! | [`ServerKind::AsyncPoolFix`] | sTomcat-Async-Fix | read and write handled by the same worker (2 context switches/request) |
+//! | [`ServerKind::SingleThread`] | SingleT-Async | one thread: event loop + handlers, unbounded write spin |
+//! | [`ServerKind::NettyLike`] | NettyServer | connection-owning workers, handler pipeline, bounded `writeSpin` (≤16) with park/resume |
+//! | [`ServerKind::Hybrid`] | HybridNetty | runtime request profiling; light requests take the SingleT fast path, heavy requests the Netty bounded path |
+//!
+//! The [`Experiment`] engine wires a closed-loop client pool, the TCP world
+//! and the CPU scheduler around one server instance and produces a
+//! [`asyncinv_metrics::RunSummary`] with the quantities the paper reports:
+//! throughput, response times, context switches per second/request,
+//! `socket.write()` calls per request and the CPU user/system split.
+//!
+//! ```
+//! use asyncinv_servers::{Experiment, ExperimentConfig, ServerKind};
+//!
+//! let mut cfg = ExperimentConfig::micro(8, 100); // concurrency 8, 0.1 KB
+//! cfg.measure = asyncinv_simcore::SimDuration::from_millis(200);
+//! let summary = Experiment::new(cfg).run(ServerKind::SingleThread);
+//! assert!(summary.throughput > 0.0);
+//! assert_eq!(summary.server, "SingleT-Async");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arch;
+mod engine;
+mod profile;
+pub mod rubbos_engine;
+
+pub use arch::{ServerKind, ServerModel};
+pub use engine::{Ctx, EngineEvent, Experiment, ExperimentConfig};
+pub use profile::ServiceProfile;

@@ -1,0 +1,92 @@
+//! Event-flow tracing: verify the paper's Fig 3 processing flow as an
+//! actual *sequence* of steps, not just aggregate counts.
+
+use asyncinv_servers::{Experiment, ExperimentConfig, ServerKind};
+use asyncinv_simcore::SimDuration;
+
+fn traced(concurrency: usize, bytes: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::micro(concurrency, bytes);
+    cfg.warmup = SimDuration::from_millis(50);
+    cfg.measure = SimDuration::from_millis(200);
+    cfg.trace_capacity = 4096;
+    cfg
+}
+
+/// The paper's Fig 3: for every request the sTomcat-Async flow is
+/// step1 (reactor dispatches read) → step2 (worker raises write event) →
+/// step3 (reactor dispatches write) → step4 (worker returns control).
+#[test]
+fn async_pool_follows_fig3_flow() {
+    let (_, trace) = Experiment::new(traced(1, 100)).run_traced(ServerKind::AsyncPool);
+    let msgs: Vec<&str> = trace.iter().map(|e| e.message.as_str()).collect();
+    assert!(!msgs.is_empty(), "trace should be recorded");
+
+    // Extract the step number sequence and verify it cycles 1→2→3→4.
+    let steps: Vec<u8> = msgs
+        .iter()
+        .filter_map(|m| m.strip_prefix("step").and_then(|r| r.as_bytes().first().copied()))
+        .map(|b| b - b'0')
+        .collect();
+    assert!(steps.len() >= 8, "need at least two full request flows");
+    // Align to the first step1 (ring buffer may start mid-flow).
+    let start = steps.iter().position(|&s| s == 1).expect("a step1");
+    for (i, &s) in steps[start..].iter().enumerate() {
+        let expected = (i % 4) as u8 + 1;
+        assert_eq!(
+            s, expected,
+            "flow out of order at {i}: {:?}",
+            &steps[start..start + (i + 4).min(steps.len() - start)]
+        );
+    }
+}
+
+/// With the write merged into the read worker (sTomcat-Async-Fix), steps 2
+/// and 3 vanish from the flow.
+#[test]
+fn async_pool_fix_skips_write_dispatch() {
+    let (_, trace) = Experiment::new(traced(1, 100)).run_traced(ServerKind::AsyncPoolFix);
+    for e in trace.iter() {
+        assert!(
+            !e.message.starts_with("step2") && !e.message.starts_with("step3"),
+            "Fix variant must not raise write events: {}",
+            e.message
+        );
+    }
+}
+
+/// Hybrid path decisions are visible in the trace: unknown classes start
+/// on the netty path, learned-light classes move to the fast path.
+#[test]
+fn hybrid_trace_shows_learning() {
+    let (_, trace) = Experiment::new(traced(2, 100)).run_traced(ServerKind::Hybrid);
+    let msgs: Vec<&str> = trace.iter().map(|e| e.message.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("path=fast")),
+        "light class should reach the fast path: {msgs:?}"
+    );
+}
+
+/// Netty park/resume shows up on large responses.
+#[test]
+fn netty_trace_shows_parking() {
+    let (_, trace) = Experiment::new(traced(2, 100 * 1024)).run_traced(ServerKind::NettyLike);
+    let has_park = trace.iter().any(|e| e.message.contains("park conn="));
+    assert!(has_park, "100 KB responses must park awaiting writable");
+}
+
+/// Tracing off (default) records nothing and changes no results.
+#[test]
+fn tracing_is_zero_impact_when_disabled() {
+    let mut with = traced(4, 100);
+    let mut without = traced(4, 100);
+    without.trace_capacity = 0;
+    with.warmup = SimDuration::from_millis(300);
+    without.warmup = SimDuration::from_millis(300);
+    with.measure = SimDuration::from_secs(1);
+    without.measure = SimDuration::from_secs(1);
+    let (a, trace_a) = Experiment::new(with).run_traced(ServerKind::AsyncPool);
+    let (b, trace_b) = Experiment::new(without).run_traced(ServerKind::AsyncPool);
+    assert!(!trace_a.is_empty());
+    assert_eq!(trace_b.len(), 0);
+    assert_eq!(a, b, "tracing must not perturb the simulation");
+}

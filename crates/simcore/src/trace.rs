@@ -1,0 +1,152 @@
+//! A bounded ring-buffer trace for debugging simulations.
+//!
+//! Substrate models can record interesting transitions (thread handoffs,
+//! write spins, classification flips) into a [`TraceBuffer`]; tests and the
+//! experiment harnesses read them back to assert on *sequences* of behaviour
+//! rather than just aggregate counters.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time at which the entry was recorded.
+    pub time: SimTime,
+    /// Subsystem tag, e.g. `"cpu"`, `"tcp"`, `"server"`.
+    pub tag: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {}] {}", self.time, self.tag, self.message)
+    }
+}
+
+/// A bounded ring buffer of [`TraceEntry`] values.
+///
+/// When full, the oldest entries are discarded. Disabled buffers (capacity
+/// zero) make `record` a no-op so production runs pay nothing.
+///
+/// ```
+/// use asyncinv_simcore::{TraceBuffer, SimTime};
+/// let mut tb = TraceBuffer::with_capacity(2);
+/// tb.record(SimTime::ZERO, "cpu", "a".into());
+/// tb.record(SimTime::ZERO, "cpu", "b".into());
+/// tb.record(SimTime::ZERO, "cpu", "c".into());
+/// let msgs: Vec<_> = tb.iter().map(|e| e.message.as_str()).collect();
+/// assert_eq!(msgs, ["b", "c"]);
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a disabled buffer (capacity zero; `record` is a no-op).
+    pub fn disabled() -> Self {
+        TraceBuffer::with_capacity(0)
+    }
+
+    /// Creates a buffer that retains the last `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceBuffer {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// `true` when the buffer records entries.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an entry, evicting the oldest if at capacity.
+    pub fn record(&mut self, time: SimTime, tag: &'static str, message: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { time, tag, message });
+    }
+
+    /// Iterates over retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drops all retained entries (the drop counter is preserved).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut tb = TraceBuffer::disabled();
+        tb.record(SimTime::ZERO, "x", "hello".into());
+        assert!(tb.is_empty());
+        assert!(!tb.is_enabled());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut tb = TraceBuffer::with_capacity(3);
+        for i in 0..5 {
+            tb.record(SimTime::from_nanos(i), "t", format!("m{i}"));
+        }
+        assert_eq!(tb.len(), 3);
+        assert_eq!(tb.dropped(), 2);
+        let msgs: Vec<_> = tb.iter().map(|e| e.message.clone()).collect();
+        assert_eq!(msgs, ["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEntry {
+            time: SimTime::from_micros(3),
+            tag: "cpu",
+            message: "switch".into(),
+        };
+        assert_eq!(e.to_string(), "[t+3.000us cpu] switch");
+    }
+
+    #[test]
+    fn clear_preserves_drop_count() {
+        let mut tb = TraceBuffer::with_capacity(1);
+        tb.record(SimTime::ZERO, "t", "a".into());
+        tb.record(SimTime::ZERO, "t", "b".into());
+        tb.clear();
+        assert!(tb.is_empty());
+        assert_eq!(tb.dropped(), 1);
+    }
+}

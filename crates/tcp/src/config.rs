@@ -1,0 +1,230 @@
+//! TCP model configuration.
+
+use asyncinv_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// How the per-connection send buffer is sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SendBufPolicy {
+    /// A fixed capacity in bytes — `setsockopt(SO_SNDBUF)`. The paper's
+    /// default is 16 KB; its "intuitive solution" experiments set it to the
+    /// response size.
+    Fixed(usize),
+    /// Linux-style auto-tuning: the usable capacity tracks the congestion
+    /// window (the kernel sizes `sk_sndbuf` from the BDP estimate, not from
+    /// the application's response size — which is exactly why the paper's
+    /// Fig 6 finds auto-tuning insufficient), clamped to `[min, max]`.
+    AutoTune {
+        /// Lower clamp (Linux `tcp_wmem[1]`-ish); also the initial capacity.
+        min: usize,
+        /// Upper clamp (`tcp_wmem[2]`).
+        max: usize,
+    },
+}
+
+impl SendBufPolicy {
+    /// The paper's default setup: fixed 16 KB.
+    pub const fn default_fixed() -> Self {
+        SendBufPolicy::Fixed(16 * 1024)
+    }
+}
+
+/// Parameters of the TCP send-path model.
+///
+/// ```
+/// use asyncinv_tcp::{TcpConfig, SendBufPolicy};
+/// use asyncinv_simcore::SimDuration;
+///
+/// let mut cfg = TcpConfig::default();
+/// cfg.added_latency = SimDuration::from_millis(5); // `tc` in the paper
+/// assert_eq!(cfg.rtt(), cfg.base_rtt + SimDuration::from_millis(10));
+/// assert_eq!(cfg.send_buf, SendBufPolicy::Fixed(16 * 1024));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Send-buffer sizing policy. Default: fixed 16 KB (the paper's default
+    /// `SO_SNDBUF`).
+    pub send_buf: SendBufPolicy,
+    /// Maximum segment size. Default 1460 B (Ethernet MTU minus headers).
+    pub mss: usize,
+    /// Initial congestion window in segments (RFC 6928 default: 10).
+    pub init_cwnd_segments: usize,
+    /// Receiver window in bytes. Window scaling is off in this model, so the
+    /// classic 64 KB cap applies; this is what keeps auto-tuned buffers from
+    /// outgrowing large responses even on high-BDP paths.
+    pub rwnd: usize,
+    /// Path bandwidth used for the BDP cap on the congestion window.
+    /// Default 125 MB/s (1 Gb Ethernet).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Base round-trip time of the LAN between client and server.
+    pub base_rtt: SimDuration,
+    /// Extra one-way latency injected on the path (the paper uses `tc` on
+    /// the client). Contributes twice to the RTT.
+    pub added_latency: SimDuration,
+    /// Reset the congestion window to its initial value after this much
+    /// idle time (Linux `tcp_slow_start_after_idle`). Default 200 ms.
+    pub idle_reset: Option<SimDuration>,
+    /// Probability that a transmitted flight is lost and must be
+    /// retransmitted after [`TcpConfig::rto`] (an extension beyond the
+    /// paper's latency-only network conditions; default 0).
+    pub loss: f64,
+    /// Retransmission timeout charged to a lost flight.
+    pub rto: SimDuration,
+    /// Seed for the deterministic per-connection loss process.
+    pub loss_seed: u64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            send_buf: SendBufPolicy::default_fixed(),
+            mss: 1460,
+            init_cwnd_segments: 10,
+            rwnd: 64 * 1024,
+            bandwidth_bytes_per_sec: 125_000_000,
+            base_rtt: SimDuration::from_micros(200),
+            added_latency: SimDuration::ZERO,
+            idle_reset: Some(SimDuration::from_millis(200)),
+            loss: 0.0,
+            rto: SimDuration::from_millis(200),
+            loss_seed: 0xA5A5,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Full round-trip time: base RTT plus the injected latency both ways.
+    pub fn rtt(&self) -> SimDuration {
+        self.base_rtt + self.added_latency * 2
+    }
+
+    /// One-way delay from server to client (half the RTT).
+    pub fn one_way(&self) -> SimDuration {
+        self.rtt() / 2
+    }
+
+    /// Initial congestion window in bytes.
+    pub fn init_cwnd(&self) -> usize {
+        self.init_cwnd_segments * self.mss
+    }
+
+    /// The ceiling the congestion window can grow to: limited by the
+    /// receiver window and 1.5× the bandwidth-delay product (headroom for
+    /// queueing), never below the initial window.
+    pub fn cwnd_cap(&self) -> usize {
+        let bdp = (self.bandwidth_bytes_per_sec as f64 * self.rtt().as_secs_f64() * 1.5) as usize;
+        bdp.clamp(self.init_cwnd(), self.rwnd)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mss == 0 {
+            return Err("mss must be positive".into());
+        }
+        if self.init_cwnd_segments == 0 {
+            return Err("initial cwnd must be at least one segment".into());
+        }
+        if self.rwnd < self.mss {
+            return Err("receiver window smaller than one segment".into());
+        }
+        if self.bandwidth_bytes_per_sec == 0 {
+            return Err("bandwidth must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.loss) {
+            return Err("loss probability must be in [0, 1)".into());
+        }
+        if self.loss > 0.0 && self.rto.is_zero() {
+            return Err("rto must be positive when loss is enabled".into());
+        }
+        match self.send_buf {
+            SendBufPolicy::Fixed(0) => Err("send buffer must be positive".into()),
+            SendBufPolicy::AutoTune { min, max } if min == 0 || max < min => {
+                Err("autotune range must satisfy 0 < min <= max".into())
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        TcpConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rtt_counts_latency_twice() {
+        let cfg = TcpConfig {
+            added_latency: SimDuration::from_millis(5),
+            ..TcpConfig::default()
+        };
+        assert_eq!(
+            cfg.rtt(),
+            SimDuration::from_micros(200) + SimDuration::from_millis(10)
+        );
+        assert_eq!(cfg.one_way(), cfg.rtt() / 2);
+    }
+
+    #[test]
+    fn lan_cwnd_cap_is_bdp_limited() {
+        let cfg = TcpConfig::default();
+        // BDP at 125 MB/s * 200us = 25 KB; cap = 1.5x = 37.5 KB < rwnd.
+        let cap = cfg.cwnd_cap();
+        assert!(cap > cfg.init_cwnd());
+        assert!(cap < cfg.rwnd, "LAN cap {cap} must be below rwnd");
+    }
+
+    #[test]
+    fn high_latency_cwnd_cap_is_rwnd_limited() {
+        let cfg = TcpConfig {
+            added_latency: SimDuration::from_millis(5),
+            ..TcpConfig::default()
+        };
+        assert_eq!(cfg.cwnd_cap(), cfg.rwnd, "no window scaling: 64 KB cap");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = TcpConfig {
+            mss: 0,
+            ..TcpConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.mss = 1460;
+        cfg.send_buf = SendBufPolicy::AutoTune { min: 0, max: 1 };
+        assert!(cfg.validate().is_err());
+        cfg.send_buf = SendBufPolicy::AutoTune {
+            min: 1024,
+            max: 512,
+        };
+        assert!(cfg.validate().is_err());
+        cfg.send_buf = SendBufPolicy::Fixed(0);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn loss_validation() {
+        let mut cfg = TcpConfig {
+            loss: 1.5,
+            ..TcpConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.loss = 0.05;
+        assert!(cfg.validate().is_ok());
+        cfg.rto = SimDuration::ZERO;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn init_cwnd_in_bytes() {
+        let cfg = TcpConfig::default();
+        assert_eq!(cfg.init_cwnd(), 14_600);
+    }
+}

@@ -1,0 +1,56 @@
+//! # asyncinv-tcp — discrete-event TCP send-path model
+//!
+//! Models the kernel TCP machinery that produces the paper's **write-spin
+//! problem** (*"Improving Asynchronous Invocation Performance in
+//! Client-server Systems"*, ICDCS 2018, Section IV): a response larger than
+//! the TCP send buffer cannot be copied to the kernel in one
+//! `socket.write()`; buffer space frees only as ACKs return from the client,
+//! so a non-blocking writer observes zero-byte writes and "spins", and every
+//! refill round costs a full RTT — which is why a few milliseconds of network
+//! latency collapse an unbounded-spin server's throughput by 95% (its Fig 7).
+//!
+//! The model implements exactly the mechanics the paper blames:
+//!
+//! * a per-connection **send buffer** (fixed 16 KB by default, or
+//!   Linux-style auto-tuning tied to the congestion window),
+//! * the **wait-ACK clock**: transmitted bytes occupy the buffer until the
+//!   ACK returns one RTT later,
+//! * a **congestion window** with slow start from 10 segments
+//!   (RFC 6928), capped by the path BDP and the receiver window
+//!   (64 KB: window scaling is off in this model, see [`TcpConfig`]),
+//! * **slow start after idle** (the Linux default), which is what keeps
+//!   auto-tuned buffers small enough to spin (its Fig 6),
+//! * syscall counters per connection so the harnesses can regenerate the
+//!   paper's Table IV (`socket.write()` calls per request).
+//!
+//! Like the CPU substrate, the model is passive: mutations push timestamped
+//! [`TcpEvent`]s into a caller-supplied buffer and the caller routes them
+//! back via [`TcpWorld::on_event`].
+//!
+//! ```
+//! use asyncinv_tcp::{TcpConfig, TcpWorld};
+//! use asyncinv_simcore::SimTime;
+//!
+//! let mut world = TcpWorld::new(TcpConfig::default());
+//! let conn = world.open(SimTime::ZERO);
+//! let mut out = Vec::new();
+//!
+//! // A 100 KB response does not fit the 16 KB send buffer:
+//! let written = world.write(SimTime::ZERO, conn, 100 * 1024, &mut out);
+//! assert!(written < 100 * 1024);
+//! // A second immediate write finds the buffer full: the write-spin.
+//! let spin = world.write(SimTime::ZERO, conn, 100 * 1024 - written, &mut out);
+//! assert_eq!(spin, 0);
+//! assert_eq!(world.conn_stats(conn).zero_writes, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod conn;
+mod world;
+
+pub use config::{SendBufPolicy, TcpConfig};
+pub use conn::{ConnEvent, ConnStats, Connection};
+pub use world::{ConnId, TcpEvent, TcpNotice, TcpWorld, WorldStats};

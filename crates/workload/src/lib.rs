@@ -1,0 +1,51 @@
+//! # asyncinv-workload — closed-loop workload generation
+//!
+//! Reproduces the load-generation side of *"Improving Asynchronous
+//! Invocation Performance in Client-server Systems"* (ICDCS 2018):
+//!
+//! * **Micro-benchmarks** (paper Section III–V): JMeter-style closed-loop
+//!   virtual users with zero think time, so "the number of threads in
+//!   JMeter" precisely controls workload concurrency at the server —
+//!   [`ClientPool`]. Request classes carry the paper's representative
+//!   response sizes (0.1 KB / 10 KB / 100 KB) — [`RequestClass`], [`Mix`] —
+//!   including the heavy/light mixes of its Fig 11 and Zipf-like
+//!   distributions ([`ZipfSampler`]) the paper cites for realistic traffic.
+//! * **Macro-benchmark** (paper Section II, Fig 1): the RUBBoS news-site
+//!   model — 24 web interactions navigated by a per-user Markov chain with
+//!   ~7 s think times ([`rubbos`]), plus simple multi-server queueing
+//!   [`Station`]s standing in for the non-bottleneck tiers (Apache, MySQL),
+//!   which the paper reports stayed below 60% utilization.
+//!
+//! Everything is deterministic given a seed.
+//!
+//! ```
+//! use asyncinv_workload::{ClientConfig, ClientPool, Mix, ThinkTime};
+//!
+//! let cfg = ClientConfig {
+//!     concurrency: 8,
+//!     think: ThinkTime::Zero,
+//!     mix: Mix::single("100KB", 100 * 1024),
+//!     seed: 1,
+//!     arrivals: asyncinv_workload::ArrivalMode::Closed,
+//! };
+//! let mut pool = ClientPool::new(cfg);
+//! let mut out = Vec::new();
+//! pool.start(&mut out);
+//! assert_eq!(out.len(), 8); // one initial send per user
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod class;
+mod clients;
+pub mod rubbos;
+mod station;
+mod think;
+mod zipf;
+
+pub use class::{Mix, PushModel, RequestClass, SizeDrift};
+pub use clients::{ArrivalMode, ClientConfig, ClientEvent, ClientPool, RequestSpec, UserId};
+pub use station::{Station, StationEvent};
+pub use think::ThinkTime;
+pub use zipf::ZipfSampler;

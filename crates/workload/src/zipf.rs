@@ -1,0 +1,152 @@
+//! Zipf-distributed sampling.
+//!
+//! The paper motivates the hybrid server with the observation that "the
+//! distribution of requests for real web applications typically follows a
+//! Zipf-like distribution, where light requests dominate the workload"
+//! (Section V-C, citing Breslau et al.). This sampler backs the
+//! Zipf-workload variants of the Fig 11 harness and the RUBBoS story
+//! popularity model.
+
+use asyncinv_simcore::SimRng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
+///
+/// ```
+/// use asyncinv_workload::ZipfSampler;
+/// use asyncinv_simcore::SimRng;
+///
+/// let z = ZipfSampler::new(100, 1.0);
+/// let mut rng = SimRng::new(4);
+/// let mut top = 0;
+/// for _ in 0..1000 {
+///     if z.sample(&mut rng) == 0 { top += 1; }
+/// }
+/// // Rank 0 carries ~1/H_100 ≈ 19% of the mass.
+/// assert!((120..=280).contains(&top));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative/not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "invalid exponent: {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf, s }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// `true` when there is a single rank (degenerate).
+    pub fn is_empty(&self) -> bool {
+        false // constructor guarantees n > 0; kept for API symmetry
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability of a given rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is out of range.
+    pub fn probability(&self, rank: usize) -> f64 {
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - lo
+    }
+
+    /// Samples a rank.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(50, 0.8);
+        let total: f64 = (0..50).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = ZipfSampler::new(10, 1.0);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(9));
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.probability(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_matches_analytic() {
+        let z = ZipfSampler::new(20, 1.2);
+        let mut rng = SimRng::new(77);
+        let n = 200_000;
+        let mut counts = [0u32; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 5, 19] {
+            let emp = counts[k] as f64 / n as f64;
+            let ana = z.probability(k);
+            assert!(
+                (emp - ana).abs() < 0.01 + ana * 0.1,
+                "rank {k}: emp={emp} ana={ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = ZipfSampler::new(3, 2.0);
+        let mut rng = SimRng::new(5);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

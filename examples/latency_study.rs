@@ -1,0 +1,51 @@
+//! Network latency vs server architecture (paper Fig 7): a few
+//! milliseconds of latency destroy an unbounded-spin server while the
+//! blocking and bounded-spin servers barely notice.
+//!
+//! ```sh
+//! cargo run --release --example latency_study
+//! ```
+
+use asyncinv::prelude::*;
+
+fn main() {
+    let kinds = [
+        ServerKind::SyncThread,
+        ServerKind::SingleThread,
+        ServerKind::NettyLike,
+        ServerKind::Hybrid,
+    ];
+    let mut table = Table::new(vec![
+        "added latency".into(),
+        "server".into(),
+        "tput[req/s]".into(),
+        "mean RT".into(),
+        "writes/req".into(),
+    ]);
+    table.numeric();
+    for lat_ms in [0u64, 2, 5] {
+        for kind in kinds {
+            let mut cfg = ExperimentConfig::micro(100, 100 * 1024)
+                .with_latency(SimDuration::from_millis(lat_ms));
+            cfg.warmup = SimDuration::from_millis(500);
+            cfg.measure = SimDuration::from_secs(3);
+            let s = Experiment::new(cfg).run(kind);
+            table.row(vec![
+                format!("{lat_ms}ms"),
+                s.server.clone(),
+                format!("{:.0}", s.throughput),
+                format!("{:.1}ms", s.mean_rt_us as f64 / 1000.0),
+                format!("{:.1}", s.writes_per_req),
+            ]);
+        }
+    }
+    println!("100 KB responses, concurrency 100, 16 KB send buffer:\n");
+    println!("{table}");
+    println!(
+        "Every refill of the send buffer waits a full round trip for ACKs;\n\
+         an unbounded spinner serializes those waits through its one event\n\
+         loop (Little's law then caps throughput at N/RT), while blocking\n\
+         threads sleep through them and bounded spinners serve other\n\
+         connections meanwhile."
+    );
+}

@@ -1,0 +1,50 @@
+//! The RUBBoS "software upgrade" study (paper Section II / Fig 1): swap
+//! the bottleneck application tier from the thread-based Tomcat 7 to the
+//! asynchronous Tomcat 8 and watch saturated throughput drop.
+//!
+//! ```sh
+//! cargo run --release --example rubbos_upgrade
+//! ```
+
+use asyncinv::prelude::*;
+use asyncinv::rubbos::RubbosExperiment;
+use asyncinv::workload::ThinkTime;
+
+fn main() {
+    let mut table = Table::new(vec![
+        "users".into(),
+        "tomcat".into(),
+        "tput[req/s]".into(),
+        "mean RT[ms]".into(),
+        "tomcat CPU%".into(),
+        "cs/s".into(),
+    ]);
+    table.numeric();
+    // Shorter think time than the paper's 7 s moves saturation to fewer
+    // users so the example finishes quickly; the shape is the same.
+    for users in [1000usize, 3000, 5000] {
+        for kind in [ServerKind::SyncThread, ServerKind::AsyncPool] {
+            let mut e = RubbosExperiment::new(users);
+            e.workload.think = ThinkTime::Exponential(SimDuration::from_secs(2));
+            e.warmup = SimDuration::from_secs(8);
+            e.measure = SimDuration::from_secs(15);
+            let s = e.run(kind);
+            table.row(vec![
+                users.to_string(),
+                s.server.clone(),
+                format!("{:.0}", s.throughput),
+                format!("{:.0}", s.mean_rt_ms),
+                format!("{:.0}", s.tomcat_cpu * 100.0),
+                format!("{:.0}", s.cs_per_sec),
+            ]);
+        }
+    }
+    println!("RUBBoS 3-tier (Apache → Tomcat-under-test → MySQL):\n");
+    println!("{table}");
+    println!(
+        "Below saturation the two tiers tie; past it the asynchronous\n\
+         connector's event-processing flow burns the bottleneck CPU on\n\
+         context switches and the 'upgrade' loses throughput — the paper's\n\
+         counter-intuitive headline result."
+    );
+}

@@ -1,0 +1,15 @@
+//! # asyncinv-lab — workspace facade
+//!
+//! Re-exports every crate in the `asyncinv` workspace so the repository-level
+//! `examples/` and `tests/` can exercise the whole system through one
+//! dependency. See the [`asyncinv`] crate for the public API and the
+//! repository `README.md`/`DESIGN.md` for the architecture overview.
+
+pub use asyncinv;
+pub use asyncinv_cpu as cpu;
+pub use asyncinv_metrics as metrics;
+pub use asyncinv_rt as rt;
+pub use asyncinv_servers as servers;
+pub use asyncinv_simcore as simcore;
+pub use asyncinv_tcp as tcp;
+pub use asyncinv_workload as workload;

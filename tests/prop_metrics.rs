@@ -1,0 +1,86 @@
+//! Property tests of the measurement utilities.
+
+use asyncinv_lab::metrics::{Histogram, ThroughputWindow};
+use asyncinv_lab::simcore::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucketed quantiles stay within the histogram's precision bound of
+    /// the exact order statistics.
+    #[test]
+    fn quantiles_track_exact(mut samples in prop::collection::vec(1u64..10_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        samples.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize)
+                .clamp(1, samples.len());
+            let exact = samples[rank - 1];
+            let approx = h.quantile(q).as_nanos();
+            // Log-linear buckets: <= ~4% relative error, upward-biased.
+            prop_assert!(approx >= exact, "q{q}: approx {approx} < exact {exact}");
+            prop_assert!(
+                approx as f64 <= exact as f64 * 1.05 + 1.0,
+                "q{q}: approx {approx} too far above exact {exact}"
+            );
+        }
+    }
+
+    /// Mean is exact and min/max bracket every quantile.
+    #[test]
+    fn mean_and_bounds(samples in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(SimDuration::from_nanos(s));
+        }
+        let exact_mean = samples.iter().sum::<u64>() / samples.len() as u64;
+        prop_assert_eq!(h.mean().as_nanos(), exact_mean);
+        prop_assert_eq!(h.min().as_nanos(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max().as_nanos(), *samples.iter().max().unwrap());
+        prop_assert!(h.quantile(0.5) >= h.min());
+        prop_assert!(h.quantile(0.5) <= h.max());
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn merge_equivalence(a in prop::collection::vec(1u64..100_000, 1..100),
+                         b in prop::collection::vec(1u64..100_000, 1..100)) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &s in &a { ha.record(SimDuration::from_nanos(s)); hall.record(SimDuration::from_nanos(s)); }
+        for &s in &b { hb.record(SimDuration::from_nanos(s)); hall.record(SimDuration::from_nanos(s)); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hall.count());
+        prop_assert_eq!(ha.mean(), hall.mean());
+        for q in [0.1, 0.5, 0.9] {
+            prop_assert_eq!(ha.quantile(q), hall.quantile(q));
+        }
+    }
+
+    /// The throughput window counts exactly the in-window completions and
+    /// its per-second buckets sum to the total.
+    #[test]
+    fn window_counts(times in prop::collection::vec(0u64..20_000, 0..300),
+                     start_ms in 0u64..5_000, len_ms in 1u64..10_000) {
+        let start = SimTime::from_millis(start_ms);
+        let end = SimTime::from_millis(start_ms + len_ms);
+        let mut w = ThroughputWindow::new(start, end);
+        for &t in &times {
+            w.record(SimTime::from_millis(t));
+        }
+        let expected = times
+            .iter()
+            .filter(|&&t| t >= start_ms && t < start_ms + len_ms)
+            .count() as u64;
+        prop_assert_eq!(w.completions(), expected);
+        prop_assert_eq!(w.per_second().iter().sum::<u64>(), expected);
+        prop_assert_eq!(w.ignored() + w.completions(), times.len() as u64);
+        let rate = w.rate_per_sec();
+        prop_assert!((rate - expected as f64 / (len_ms as f64 / 1000.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests of the simulation kernel.
+
+use asyncinv_lab::simcore::{CalendarQueue, EventQueue, SimDuration, SimRng, SimTime, Simulation};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in non-decreasing time order regardless of insertion
+    /// order, with FIFO ties.
+    #[test]
+    fn queue_pops_sorted_stable(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((pt, (t, i))) = q.pop() {
+            prop_assert_eq!(pt.as_nanos(), t);
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "ties must be FIFO");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// The simulation clock never goes backwards and delivers every event.
+    #[test]
+    fn clock_is_monotone(delays in prop::collection::vec(0u64..10_000, 1..100)) {
+        let mut sim = Simulation::new();
+        for &d in &delays {
+            sim.schedule(SimDuration::from_nanos(d), d);
+        }
+        let mut seen = 0usize;
+        let mut prev = SimTime::ZERO;
+        while let Some((t, _)) = sim.next_event() {
+            prop_assert!(t >= prev);
+            prev = t;
+            seen += 1;
+        }
+        prop_assert_eq!(seen, delays.len());
+        prop_assert_eq!(sim.events_processed(), delays.len() as u64);
+    }
+
+    /// `next_event_before` partitions delivery exactly at the deadline.
+    #[test]
+    fn deadline_partitions(delays in prop::collection::vec(1u64..10_000, 1..100), cut in 1u64..10_000) {
+        let mut sim = Simulation::new();
+        for &d in &delays {
+            sim.schedule(SimDuration::from_nanos(d), d);
+        }
+        let deadline = SimTime::from_nanos(cut);
+        let mut early = 0usize;
+        while let Some((t, _)) = sim.next_event_before(deadline) {
+            prop_assert!(t <= deadline);
+            early += 1;
+        }
+        let expected = delays.iter().filter(|&&d| d <= cut).count();
+        prop_assert_eq!(early, expected);
+        prop_assert!(sim.now() >= deadline || sim.pending() == 0);
+    }
+
+    /// The calendar queue is order-equivalent (including FIFO ties) to the
+    /// binary-heap queue for arbitrary interleavings of pushes and pops.
+    #[test]
+    fn calendar_equivalent_to_heap(ops in prop::collection::vec((0u64..5_000, any::<bool>()), 1..400)) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut next_id = 0u64;
+        for (t, do_pop) in ops {
+            if do_pop {
+                let a = heap.pop();
+                let b = cal.pop();
+                prop_assert_eq!(a, b, "pop divergence");
+            } else {
+                heap.push(SimTime::from_nanos(t * 131), next_id);
+                cal.push(SimTime::from_nanos(t * 131), next_id);
+                next_id += 1;
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+        }
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            prop_assert_eq!(a, b, "drain divergence");
+            if b.is_none() { break; }
+        }
+    }
+
+    /// Uniform range stays in range for arbitrary seeds and bounds.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+
+    /// Weighted sampling returns valid indices for arbitrary weights.
+    #[test]
+    fn rng_weighted_valid(seed in any::<u64>(), weights in prop::collection::vec(0.0f64..10.0, 1..20)) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.weighted_index(&weights) < weights.len());
+        }
+    }
+
+    /// Time arithmetic round-trips.
+    #[test]
+    fn time_arithmetic_roundtrip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_nanos(a);
+        let d = SimDuration::from_nanos(b);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d).duration_since(t), d);
+    }
+
+    /// Exponential sampling is non-negative and finite.
+    #[test]
+    fn rng_exp_sane(seed in any::<u64>(), mean in 0.0f64..100.0) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            let x = rng.exp_f64(mean);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+}

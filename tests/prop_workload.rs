@@ -1,0 +1,123 @@
+//! Property tests of the workload generators.
+
+use asyncinv_lab::simcore::{SimDuration, SimRng, SimTime};
+use asyncinv_lab::workload::{
+    ClientConfig, ClientEvent, ClientPool, Mix, RequestClass, Station, ThinkTime, UserId,
+    ZipfSampler,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Empirical class frequencies track the mix weights.
+    #[test]
+    fn mix_frequencies(seed in any::<u64>(), w0 in 0.05f64..1.0, w1 in 0.05f64..1.0) {
+        let mix = Mix::new(vec![
+            (RequestClass::new("a", 100), w0),
+            (RequestClass::new("b", 200), w1),
+        ]);
+        let mut rng = SimRng::new(seed);
+        let n = 20_000;
+        let hits0 = (0..n).filter(|_| mix.sample(&mut rng) == 0).count();
+        let expect = w0 / (w0 + w1);
+        let got = hits0 as f64 / n as f64;
+        prop_assert!((got - expect).abs() < 0.03, "expect {expect}, got {got}");
+    }
+
+    /// Zipf probabilities are non-increasing in rank and sum to one.
+    #[test]
+    fn zipf_shape(n in 1usize..100, s in 0.0f64..3.0) {
+        let z = ZipfSampler::new(n, s);
+        let mut total = 0.0;
+        let mut prev = f64::INFINITY;
+        for k in 0..n {
+            let p = z.probability(k);
+            prop_assert!(p <= prev + 1e-12, "p not monotone at rank {k}");
+            prev = p;
+            total += p;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// The closed loop invariant: in-flight requests never exceed the user
+    /// count, and send/complete counts stay balanced.
+    #[test]
+    fn closed_loop_invariant(users in 1usize..20, rounds in 1usize..50, seed in any::<u64>()) {
+        let mut pool = ClientPool::new(ClientConfig {
+            concurrency: users,
+            think: ThinkTime::Zero,
+            mix: Mix::heavy_light(0.3),
+            seed,
+            arrivals: asyncinv_lab::workload::ArrivalMode::Closed,
+        });
+        let mut out = Vec::new();
+        pool.start(&mut out);
+        let mut rng = SimRng::new(seed ^ 1);
+        let mut now = SimTime::ZERO;
+        for _ in 0..rounds {
+            // Fire all pending sends, then complete them in random order.
+            let sends: Vec<UserId> = out
+                .drain(..)
+                .filter_map(|(_, e)| match e {
+                    ClientEvent::Send { user } => Some(user),
+                    ClientEvent::Arrival => None,
+                })
+                .collect();
+            for u in &sends {
+                pool.next_request(now, *u);
+            }
+            prop_assert!(pool.in_flight() <= users);
+            let mut order = sends;
+            // Fisher-Yates with the deterministic RNG.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range((i + 1) as u64) as usize;
+                order.swap(i, j);
+            }
+            now += SimDuration::from_micros(10);
+            for u in order {
+                pool.complete(now, u, &mut out);
+            }
+            prop_assert_eq!(pool.in_flight(), 0);
+        }
+        prop_assert_eq!(pool.requests_sent(), pool.responses_done());
+        prop_assert_eq!(pool.requests_sent(), (users * rounds) as u64);
+    }
+
+    /// Stations complete exactly what is submitted, FIFO within capacity.
+    #[test]
+    fn station_completes_all(servers in 1usize..8, jobs in 1u64..200, seed in any::<u64>()) {
+        let mut st = Station::new("s", servers, SimDuration::from_micros(100), seed);
+        let mut out = Vec::new();
+        for j in 0..jobs {
+            st.submit(SimTime::ZERO, j, &mut out);
+        }
+        prop_assert!(st.busy() <= servers);
+        let mut seen = Vec::new();
+        while st.completed() < jobs {
+            prop_assert!(!out.is_empty(), "station stalled");
+            out.sort_by_key(|(t, _)| *t);
+            let (t, ev) = out.remove(0);
+            seen.push(st.on_event(t, ev, &mut out));
+        }
+        seen.sort_unstable();
+        let expected: Vec<u64> = (0..jobs).collect();
+        prop_assert_eq!(seen, expected);
+        prop_assert_eq!(st.queue_len(), 0);
+        prop_assert_eq!(st.busy(), 0);
+    }
+
+    /// Think-time samples respect their distribution family basics.
+    #[test]
+    fn think_time_sane(seed in any::<u64>(), mean_ms in 1u64..10_000) {
+        let mut rng = SimRng::new(seed);
+        let fixed = ThinkTime::Fixed(SimDuration::from_millis(mean_ms));
+        prop_assert_eq!(fixed.sample(&mut rng), SimDuration::from_millis(mean_ms));
+        let exp = ThinkTime::Exponential(SimDuration::from_millis(mean_ms));
+        for _ in 0..10 {
+            let s = exp.sample(&mut rng);
+            // Non-negative and not absurdly far into the tail.
+            prop_assert!(s.as_millis() < mean_ms.saturating_mul(1000) + 1000);
+        }
+    }
+}
