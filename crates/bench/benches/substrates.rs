@@ -5,7 +5,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use asyncinv::substrate::{Burst, CpuConfig, CpuModel, SendBufPolicy, TcpConfig, TcpWorld};
 use asyncinv::{Experiment, ExperimentConfig, ServerKind, SimDuration, SimTime};
-use asyncinv_simcore::{CalendarQueue, EventQueue, SimRng, Simulation};
+use asyncinv_simcore::{AdaptiveQueue, CalendarQueue, EventQueue, QueueBackend, SimRng, Simulation};
 
 fn bench_event_queue(c: &mut Criterion) {
     c.bench_function("event_queue/push_pop_1k", |b| {
@@ -66,6 +66,33 @@ fn bench_calendar_queue(c: &mut Criterion) {
                 black_box(v)
             })
         });
+    }
+}
+
+/// Hold model (peek + pop-one + push-one over a constant population) for
+/// every kernel backend at the standing populations the paper's cells
+/// actually see: ~10 (low concurrency), ~100 (paper's headline cells), and
+/// 10k (stress). This is the benchmark that justifies the adaptive
+/// backend's switch thresholds.
+fn bench_backend_hold(c: &mut Criterion) {
+    fn hold<Q: QueueBackend<u64>>(c: &mut Criterion, name: &str, pop: u64) {
+        c.bench_function(&format!("hold/{name}/pop{pop}"), |b| {
+            let mut q = Q::default();
+            for i in 0..pop {
+                q.push(SimTime::from_nanos(i * 997), i);
+            }
+            b.iter(|| {
+                black_box(q.peek_time());
+                let (pt, v) = QueueBackend::pop(&mut q).expect("non-empty");
+                q.push(SimTime::from_nanos(pt.as_nanos() + 1 + v % 2048), v);
+                black_box(v)
+            })
+        });
+    }
+    for pop in [10u64, 100, 10_000] {
+        hold::<EventQueue<u64>>(c, "heap", pop);
+        hold::<CalendarQueue<u64>>(c, "calendar", pop);
+        hold::<AdaptiveQueue<u64>>(c, "adaptive", pop);
     }
 }
 
@@ -175,6 +202,7 @@ criterion_group!(
     benches,
     bench_event_queue,
     bench_calendar_queue,
+    bench_backend_hold,
     bench_rng,
     bench_scheduler,
     bench_tcp_write_path,

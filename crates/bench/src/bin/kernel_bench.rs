@@ -1,0 +1,211 @@
+//! Self-benchmark of the simulation kernel: raw queue throughput per
+//! backend, full experiment-cell wall-clock per backend, and the parallel
+//! cell runner's speedup over a serial run.
+//!
+//! ```sh
+//! cargo run --release -p asyncinv-bench --bin kernel_bench             # full
+//! cargo run --release -p asyncinv-bench --bin kernel_bench -- --quick  # smoke
+//! ```
+//!
+//! Results are printed as tables and written to `BENCH_kernel.json`
+//! (override the path with `ASYNCINV_BENCH_OUT`). The committed copy at the
+//! repository root is the recorded baseline referenced by `EXPERIMENTS.md`.
+
+use std::time::Instant;
+
+use asyncinv::figures::Fidelity;
+use asyncinv::runner::{configured_threads, run_cells};
+use asyncinv::{fmt_f64, BackendKind, Experiment, ServerKind, SimTime, Table};
+use asyncinv_simcore::{AdaptiveQueue, CalendarQueue, EventQueue, QueueBackend};
+use serde::Serialize;
+
+/// One hold-model measurement: pop-one/push-one over a standing population.
+#[derive(Debug, Serialize)]
+struct HoldRow {
+    backend: String,
+    population: u64,
+    /// Queue operations per wall-clock second (each hold = 1 pop + 1 push
+    /// + 1 peek, the engine drive loop's per-event pattern).
+    events_per_sec: f64,
+}
+
+/// Wall-clock for a fixed Quick cell grid driven end to end on one backend.
+#[derive(Debug, Serialize)]
+struct GridRow {
+    backend: String,
+    cells: usize,
+    wall_ms: f64,
+}
+
+/// Serial vs parallel wall-clock for the same grid through the runner.
+#[derive(Debug, Serialize)]
+struct RunnerRow {
+    cells: usize,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct KernelBench {
+    hold: Vec<HoldRow>,
+    grid: Vec<GridRow>,
+    runner: RunnerRow,
+}
+
+/// The steady state of a discrete-event simulation: each iteration peeks
+/// the clock, pops the earliest event, and schedules a successor slightly
+/// in the future, keeping the population constant.
+fn hold_events_per_sec<Q: QueueBackend<u64>>(population: u64, holds: u64) -> f64 {
+    let mut q = Q::default();
+    for i in 0..population {
+        q.push(SimTime::from_nanos(i.wrapping_mul(997)), i);
+    }
+    // Warm the structure (lets the calendar settle on a bucket width and
+    // the adaptive queue migrate before the timer starts).
+    for _ in 0..population * 4 {
+        hold_once(&mut q);
+    }
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..holds {
+        acc = acc.wrapping_add(hold_once(&mut q));
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    std::hint::black_box(acc);
+    // 3 queue operations per hold: peek + pop + push.
+    holds as f64 * 3.0 / secs
+}
+
+fn hold_once<Q: QueueBackend<u64>>(q: &mut Q) -> u64 {
+    let head = q.peek_time().expect("population is constant");
+    let (t, v) = q.pop().expect("population is constant");
+    debug_assert_eq!(head, t);
+    q.push(SimTime::from_nanos(t.as_nanos() + 1 + v % 2048), v);
+    v
+}
+
+/// The fixed grid timed per backend and through the runner: heterogeneous
+/// server models, sizes and concurrencies, Quick windows.
+fn grid() -> Vec<(ServerKind, usize, usize)> {
+    let mut cells = Vec::new();
+    for &size in &[100usize, 10 * 1024, 100 * 1024] {
+        for &conc in &[1usize, 16, 100] {
+            for kind in [
+                ServerKind::SyncThread,
+                ServerKind::AsyncPool,
+                ServerKind::SingleThread,
+                ServerKind::NettyLike,
+            ] {
+                cells.push((kind, size, conc));
+            }
+        }
+    }
+    cells
+}
+
+fn time_grid_on(backend: BackendKind, cells: &[(ServerKind, usize, usize)]) -> f64 {
+    let start = Instant::now();
+    for &(kind, size, conc) in cells {
+        let mut cfg = Fidelity::Quick.micro(conc, size);
+        cfg.backend = backend;
+        std::hint::black_box(Experiment::new(cfg).run(kind));
+    }
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    asyncinv_bench::banner(
+        "kernel_bench — simulation-kernel self-benchmark",
+        "O(1)-peek calendar + adaptive backend >= heap on hold-dominated loads; \
+         parallel runner cuts grid wall-clock",
+    );
+    let quick = std::env::args().any(|a| a == "--quick");
+    let holds: u64 = if quick { 200_000 } else { 2_000_000 };
+
+    // --- 1. Hold model: the kernel's steady-state op rate per backend. ---
+    let mut hold = Vec::new();
+    let mut hold_table = Table::new(vec![
+        "backend".into(),
+        "population".into(),
+        "Mops/s".into(),
+    ]);
+    hold_table.numeric();
+    for &population in &[10u64, 100, 10_000] {
+        for backend in BackendKind::ALL {
+            let rate = match backend {
+                BackendKind::Heap => hold_events_per_sec::<EventQueue<u64>>(population, holds),
+                BackendKind::Calendar => {
+                    hold_events_per_sec::<CalendarQueue<u64>>(population, holds)
+                }
+                BackendKind::Adaptive => {
+                    hold_events_per_sec::<AdaptiveQueue<u64>>(population, holds)
+                }
+            };
+            hold_table.row(vec![
+                backend.name().into(),
+                population.to_string(),
+                fmt_f64(rate / 1e6, 2),
+            ]);
+            hold.push(HoldRow {
+                backend: backend.name().into(),
+                population,
+                events_per_sec: rate,
+            });
+        }
+    }
+    println!("\nhold model (pop-one/push-one, constant population):\n{hold_table}");
+
+    // --- 2. Full experiment cells end to end, per backend. ---
+    let cells = grid();
+    let mut grid_rows = Vec::new();
+    let mut grid_table = Table::new(vec!["backend".into(), "cells".into(), "wall[ms]".into()]);
+    grid_table.numeric();
+    for backend in BackendKind::ALL {
+        let wall_ms = time_grid_on(backend, &cells);
+        grid_table.row(vec![
+            backend.name().into(),
+            cells.len().to_string(),
+            fmt_f64(wall_ms, 0),
+        ]);
+        grid_rows.push(GridRow {
+            backend: backend.name().into(),
+            cells: cells.len(),
+            wall_ms,
+        });
+    }
+    println!("\nfixed Quick cell grid, serial, per backend:\n{grid_table}");
+
+    // --- 3. Parallel runner speedup on the same grid. ---
+    let threads = configured_threads();
+    let start = Instant::now();
+    let serial = run_cells(Fidelity::Quick, &cells, 1);
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let parallel = run_cells(Fidelity::Quick, &cells, threads);
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(serial, parallel, "parallel run must be bit-identical");
+    let runner = RunnerRow {
+        cells: cells.len(),
+        threads,
+        serial_ms,
+        parallel_ms,
+        speedup: serial_ms / parallel_ms.max(1e-9),
+    };
+    println!(
+        "\nrunner: {} cells  serial {:.0} ms  parallel({} threads) {:.0} ms  speedup {:.2}x",
+        runner.cells, runner.serial_ms, runner.threads, runner.parallel_ms, runner.speedup
+    );
+
+    // --- 4. Record. ---
+    let out = std::env::var("ASYNCINV_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernel.json".into());
+    let report = KernelBench {
+        hold,
+        grid: grid_rows,
+        runner,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize kernel bench");
+    std::fs::write(&out, json + "\n").expect("write kernel bench json");
+    println!("\nwrote {out}");
+}

@@ -35,6 +35,9 @@ const ARTIFACTS: [&str; 21] = [
 ];
 
 fn main() {
+    // Export `--threads N` as ASYNCINV_THREADS so every child artifact
+    // inherits it even though the flag is also forwarded verbatim.
+    asyncinv_bench::apply_threads_arg();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin directory");

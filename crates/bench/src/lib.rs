@@ -5,14 +5,22 @@
 //! simulation substrates (`cargo bench`).
 //!
 //! Every binary accepts `--quick` (or env `ASYNCINV_QUICK=1`) to shrink the
-//! measurement windows for smoke runs; the recorded numbers in
-//! `EXPERIMENTS.md` come from full runs.
+//! measurement windows for smoke runs, and `--threads N` (or env
+//! `ASYNCINV_THREADS=N`) to bound the parallel cell runner; the recorded
+//! numbers in `EXPERIMENTS.md` come from full runs.
 
 use asyncinv::figures::Fidelity;
 use asyncinv::{fmt_f64, RunSummary, Table};
 
-/// Parses the common `--quick` flag / `ASYNCINV_QUICK` env toggle.
+/// Parses the common harness flags: `--quick` / `ASYNCINV_QUICK` for
+/// fidelity, and `--threads N` for the parallel cell runner.
+///
+/// `--threads` is applied by setting [`asyncinv::runner::THREADS_ENV`] in
+/// this process's environment, which both routes it to
+/// [`asyncinv::runner::configured_threads`] and lets child processes (the
+/// per-artifact binaries spawned by `repro_all`) inherit it.
 pub fn fidelity_from_args() -> Fidelity {
+    apply_threads_arg();
     let quick_flag = std::env::args().any(|a| a == "--quick");
     let quick_env = std::env::var("ASYNCINV_QUICK").is_ok_and(|v| v == "1");
     if quick_flag || quick_env {
@@ -20,6 +28,37 @@ pub fn fidelity_from_args() -> Fidelity {
     } else {
         Fidelity::Full
     }
+}
+
+/// Applies a `--threads N` (or `--threads=N`) command-line override to the
+/// `ASYNCINV_THREADS` environment variable. Returns the parsed count, if
+/// any. Malformed values are reported and ignored rather than killing an
+/// artifact run.
+pub fn apply_threads_arg() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        let value = if a == "--threads" {
+            args.next()
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            Some(v.to_string())
+        } else {
+            continue;
+        };
+        match value.as_deref().map(str::parse::<usize>) {
+            Some(Ok(n)) if n >= 1 => {
+                std::env::set_var(asyncinv::runner::THREADS_ENV, n.to_string());
+                return Some(n);
+            }
+            _ => {
+                eprintln!(
+                    "warning: ignoring malformed --threads value {:?} (expected an integer >= 1)",
+                    value.unwrap_or_default()
+                );
+                return None;
+            }
+        }
+    }
+    None
 }
 
 /// Renders a throughput-oriented table of run summaries, one row each.

@@ -40,7 +40,9 @@ impl Fidelity {
         }
     }
 
-    fn micro(self, concurrency: usize, bytes: usize) -> ExperimentConfig {
+    /// A micro cell config at this fidelity's windows (used by the
+    /// [`runner`](crate::runner) to materialize grid cells).
+    pub fn micro(self, concurrency: usize, bytes: usize) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::micro(concurrency, bytes);
         let (w, m) = self.micro_windows();
         cfg.warmup = w;
@@ -252,7 +254,7 @@ pub fn sweep(
     concurrencies: &[usize],
 ) -> Vec<RunSummary> {
     let cells = cell_grid(kinds, sizes, concurrencies);
-    run_cells(fid, &cells, std::thread::available_parallelism().map_or(1, |n| n.get()))
+    crate::runner::run_cells(fid, &cells, crate::runner::configured_threads())
 }
 
 /// The (kind, size, concurrency) grid in output order.
@@ -270,43 +272,6 @@ fn cell_grid(
         }
     }
     cells
-}
-
-/// Runs independent cells on up to `threads` OS threads. Each cell is a
-/// self-contained deterministic simulation, so the results are identical
-/// to a serial run (asserted by an integration test); only wall-clock time
-/// changes.
-fn run_cells(
-    fid: Fidelity,
-    cells: &[(ServerKind, usize, usize)],
-    threads: usize,
-) -> Vec<RunSummary> {
-    let threads = threads.clamp(1, cells.len().max(1));
-    if threads == 1 {
-        return cells
-            .iter()
-            .map(|&(kind, size, conc)| Experiment::new(fid.micro(conc, size)).run(kind))
-            .collect();
-    }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<RunSummary>> = vec![None; cells.len()];
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<RunSummary>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(kind, size, conc)) = cells.get(i) else {
-                    break;
-                };
-                let summary = Experiment::new(fid.micro(conc, size)).run(kind);
-                **slot_refs[i].lock().expect("slot lock") = Some(summary);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    drop(slot_refs);
-    slots.into_iter().map(|s| s.expect("cell not run")).collect()
 }
 
 #[cfg(test)]

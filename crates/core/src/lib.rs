@@ -41,6 +41,7 @@
 
 pub mod advisor;
 pub mod figures;
+pub mod runner;
 
 pub use asyncinv_metrics::{
     find_knee, fmt_f64, littles_law_residual, Align, Chart, ClassSummary, CpuShare, Histogram,
@@ -49,7 +50,7 @@ pub use asyncinv_metrics::{
 pub use asyncinv_servers::{
     Ctx, EngineEvent, Experiment, ExperimentConfig, ServerKind, ServerModel, ServiceProfile,
 };
-pub use asyncinv_simcore::{SimDuration, SimRng, SimTime};
+pub use asyncinv_simcore::{BackendKind, SimDuration, SimRng, SimTime};
 
 /// The RUBBoS 3-tier macro benchmark (paper Section II / Fig 1).
 pub mod rubbos {
@@ -83,6 +84,7 @@ pub mod substrate {
 /// Glob-import convenience: `use asyncinv::prelude::*;`.
 pub mod prelude {
     pub use crate::figures::{self, Fidelity};
+    pub use crate::runner;
     pub use crate::rubbos::{RubbosExperiment, RubbosSummary};
     pub use crate::substrate::{CpuConfig, SendBufPolicy, TcpConfig};
     pub use crate::workload::{Mix, ThinkTime};

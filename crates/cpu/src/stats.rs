@@ -5,8 +5,9 @@ use asyncinv_simcore::{SimDuration, SimTime};
 /// Cumulative scheduler statistics.
 ///
 /// All fields are monotone counters/sums since machine creation; experiments
-/// snapshot them at window boundaries and subtract.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// snapshot them at window boundaries and subtract. `Copy`, so snapshots are
+/// plain bitwise copies — no allocation on the engines' measurement path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CpuStats {
     /// Switches of a core between two distinct threads (paper's context
     /// switch metric: Tables I & II, Fig 4d–f).

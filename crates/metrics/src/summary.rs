@@ -2,6 +2,7 @@
 
 use asyncinv_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// CPU utilization shares over a run, normalized to machine capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -35,8 +36,9 @@ impl CpuShare {
 /// distinguishes heavy and light requests).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct ClassSummary {
-    /// Class name from the workload mix.
-    pub class: String,
+    /// Class name, shared with the workload mix's interned name (cloning
+    /// an `Arc<str>` is a refcount bump, not a string allocation).
+    pub class: Arc<str>,
     /// Response size of the class in bytes (initial size for drifting
     /// classes).
     pub response_bytes: usize,

@@ -3,7 +3,10 @@
 
 use asyncinv_cpu::{Burst, CpuConfig, CpuEvent, CpuModel, ThreadId};
 use asyncinv_metrics::{ClassSummary, CpuShare, Histogram, RunSummary, ThroughputWindow};
-use asyncinv_simcore::{SimDuration, SimTime, Simulation, TraceBuffer};
+use asyncinv_simcore::{
+    AdaptiveQueue, BackendKind, CalendarQueue, EventQueue, QueueBackend, SimDuration, SimTime,
+    Simulation, TraceBuffer,
+};
 use asyncinv_tcp::{ConnId, TcpConfig, TcpEvent, TcpNotice, TcpWorld};
 use asyncinv_workload::{ClientConfig, ClientEvent, ClientPool, Mix, ThinkTime, UserId};
 
@@ -44,6 +47,11 @@ pub struct ExperimentConfig {
     /// Capacity of the event-flow trace ring buffer (0 disables tracing).
     /// Use [`Experiment::run_traced`] to retrieve the trace.
     pub trace_capacity: usize,
+    /// Simulation queue backend. All backends produce identical results
+    /// (the ordering contract is property-tested); this only trades
+    /// wall-clock speed. Defaults to [`BackendKind::Adaptive`].
+    #[serde(default)]
+    pub backend: BackendKind,
 }
 
 impl ExperimentConfig {
@@ -77,6 +85,7 @@ impl ExperimentConfig {
             write_spin_limit: 16,
             tomcat_real_nio: false,
             trace_capacity: 0,
+            backend: BackendKind::default(),
         }
     }
 
@@ -248,13 +257,25 @@ impl Experiment {
         self.drive(server).0
     }
 
+    /// Monomorphizes the drive loop for the configured queue backend.
     fn drive(&self, server: &mut dyn ServerModel) -> (RunSummary, TraceBuffer) {
+        match self.cfg.backend {
+            BackendKind::Heap => self.drive_with::<EventQueue<EngineEvent>>(server),
+            BackendKind::Calendar => self.drive_with::<CalendarQueue<EngineEvent>>(server),
+            BackendKind::Adaptive => self.drive_with::<AdaptiveQueue<EngineEvent>>(server),
+        }
+    }
+
+    fn drive_with<Q: QueueBackend<EngineEvent>>(
+        &self,
+        server: &mut dyn ServerModel,
+    ) -> (RunSummary, TraceBuffer) {
         let cfg = &self.cfg;
         let n = cfg.clients.concurrency;
         let warm_end = SimTime::ZERO + cfg.warmup;
         let end = warm_end + cfg.measure;
 
-        let mut sim: Simulation<EngineEvent> = Simulation::new();
+        let mut sim: Simulation<EngineEvent, Q> = Simulation::default();
         let mut cpu = CpuModel::new(cfg.cpu.clone());
         let mut tcp = TcpWorld::new(cfg.tcp.clone());
         let mut clients = ClientPool::new(cfg.clients.clone());
@@ -311,14 +332,17 @@ impl Experiment {
         clients.start(&mut cl_out);
         flush!();
 
-        let mut cpu_snap = cpu.stats().clone();
+        // CpuStats is Copy: window snapshots are bitwise copies, so the
+        // per-iteration warm-up check below never allocates.
+        let mut cpu_snap = *cpu.stats();
         let mut tcp_snap = tcp.stats();
         let mut snapped = false;
 
         loop {
-            // Snapshot counters exactly at the warm-up boundary.
+            // Snapshot counters exactly at the warm-up boundary. peek_time
+            // is O(1) on every backend (the calendar caches its head).
             if !snapped && sim.peek_time().is_none_or(|t| t >= warm_end) {
-                cpu_snap = cpu.stats().clone();
+                cpu_snap = *cpu.stats();
                 tcp_snap = tcp.stats();
                 snapped = true;
             }

@@ -20,7 +20,10 @@
 
 use asyncinv_cpu::{CpuConfig, CpuModel, CpuEvent};
 use asyncinv_metrics::{Histogram, ThroughputWindow};
-use asyncinv_simcore::{SimDuration, SimRng, SimTime, Simulation, TraceBuffer};
+use asyncinv_simcore::{
+    AdaptiveQueue, BackendKind, CalendarQueue, EventQueue, QueueBackend, SimDuration, SimRng,
+    SimTime, Simulation, TraceBuffer,
+};
 use asyncinv_tcp::{ConnId, TcpConfig, TcpEvent, TcpNotice, TcpWorld};
 use asyncinv_workload::rubbos::{interactions, Interaction, Navigator, RubbosConfig};
 use asyncinv_workload::{Station, StationEvent};
@@ -95,6 +98,9 @@ pub struct RubbosExperiment {
     pub measure: SimDuration,
     /// Worker pool size for the async Tomcat (maxThreads).
     pub pool_workers: usize,
+    /// Simulation queue backend (results are backend-independent; this
+    /// only trades wall-clock speed).
+    pub backend: BackendKind,
 }
 
 impl RubbosExperiment {
@@ -125,6 +131,7 @@ impl RubbosExperiment {
             warmup: SimDuration::from_secs(20),
             measure: SimDuration::from_secs(40),
             pool_workers: 200,
+            backend: BackendKind::default(),
         }
     }
 
@@ -139,7 +146,11 @@ impl RubbosExperiment {
             matches!(kind, ServerKind::SyncThread | ServerKind::AsyncPool),
             "the RUBBoS study compares TomcatSync (SyncThread) and TomcatAsync (AsyncPool)"
         );
-        run_macro(self, kind)
+        match self.backend {
+            BackendKind::Heap => run_macro::<EventQueue<MEvent>>(self, kind),
+            BackendKind::Calendar => run_macro::<CalendarQueue<MEvent>>(self, kind),
+            BackendKind::Adaptive => run_macro::<AdaptiveQueue<MEvent>>(self, kind),
+        }
     }
 }
 
@@ -162,7 +173,7 @@ struct MacroReq {
     remaining: usize,
 }
 
-fn run_macro(cfg: &RubbosExperiment, kind: ServerKind) -> RubbosSummary {
+fn run_macro<Q: QueueBackend<MEvent>>(cfg: &RubbosExperiment, kind: ServerKind) -> RubbosSummary {
     let users = cfg.workload.users;
     let warm_end = SimTime::ZERO + cfg.warmup;
     let end = warm_end + cfg.measure;
@@ -190,10 +201,11 @@ fn run_macro(cfg: &RubbosExperiment, kind: ServerKind) -> RubbosSummary {
         write_spin_limit: 16,
         tomcat_real_nio: true,
         trace_capacity: 0,
+        backend: cfg.backend,
     };
     let mut server = kind.build(&engine_cfg);
 
-    let mut sim: Simulation<MEvent> = Simulation::new();
+    let mut sim: Simulation<MEvent, Q> = Simulation::default();
     let mut cpu = CpuModel::new(cfg.cpu.clone());
     let mut tcp = TcpWorld::new(cfg.tcp.clone());
     let mut db = Station::new(
@@ -261,13 +273,14 @@ fn run_macro(cfg: &RubbosExperiment, kind: ServerKind) -> RubbosSummary {
     }
     flush!();
 
-    let mut cpu_snap = cpu.stats().clone();
+    // CpuStats is Copy: snapshots never allocate on the event loop.
+    let mut cpu_snap = *cpu.stats();
     let mut db_busy_snap = SimDuration::ZERO;
     let mut snapped = false;
 
     loop {
         if !snapped && sim.peek_time().is_none_or(|t| t >= warm_end) {
-            cpu_snap = cpu.stats().clone();
+            cpu_snap = *cpu.stats();
             db_busy_snap = db.busy_time();
             snapped = true;
         }

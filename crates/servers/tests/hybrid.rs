@@ -184,7 +184,7 @@ fn hybrid_spares_light_requests_from_hol_blocking() {
     // per_class[1] is the light class in Mix::heavy_light.
     let h_light = &hybrid.per_class[1];
     let s_light = &single.per_class[1];
-    assert_eq!(h_light.class, "light");
+    assert_eq!(h_light.class.as_ref(), "light");
     assert!(
         s_light.p99_rt_us > h_light.p99_rt_us * 5,
         "spinner light p99 {}us should dwarf hybrid's {}us",

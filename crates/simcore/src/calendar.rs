@@ -7,17 +7,22 @@
 //! halving the day count, re-estimating the day width from the events near
 //! the head) as the population changes, keeping buckets short.
 //!
+//! The queue maintains a cached head — the `(time, day)` of the earliest
+//! pending event — across `push`/`pop`/`resize`, so [`CalendarQueue::peek_time`]
+//! is O(1) like the binary heap's. The head search that used to run inside
+//! `pop` now runs eagerly after each mutation; the amortized cost is
+//! unchanged, only shifted one operation earlier.
+//!
 //! [`CalendarQueue`] is a drop-in alternative to
 //! [`EventQueue`](crate::EventQueue) with identical *stable* ordering
 //! semantics (FIFO for equal timestamps) — verified against it by property
 //! tests in `tests/prop_simcore.rs`. Criterion (`cargo bench -- queue`)
-//! shows the calendar ~30% faster on steady-state *hold* operations
+//! shows the calendar faster on steady-state *hold* operations
 //! (pop-one/push-one over a standing population) but slower on
-//! push-everything-then-drain bursts, and its `peek_time` is O(days)
-//! versus the heap's O(1). The default [`crate::Simulation`] keeps the
-//! binary heap because the experiment driver peeks the head every
-//! iteration during warm-up; use the calendar directly for hold-dominated
-//! custom drivers.
+//! push-everything-then-drain bursts. The default [`crate::Simulation`]
+//! therefore uses the [`AdaptiveQueue`](crate::AdaptiveQueue) backend,
+//! which starts on the heap and migrates to a calendar once the standing
+//! population is large enough for the hold advantage to pay off.
 
 use crate::time::SimTime;
 
@@ -52,9 +57,20 @@ pub struct CalendarQueue<E> {
     day_start: u64,
     len: usize,
     seq: u64,
+    /// `(time, day)` of the earliest pending event; `Some` iff `len > 0`.
+    head: Option<(u64, usize)>,
+    /// Pushes since the last rebuild; gates overfull-bucket rebuilds so a
+    /// rebuild's O(n log n) is always amortized over at least n pushes.
+    pushes_since_resize: usize,
 }
 
 const MIN_DAYS: usize = 16;
+
+/// A bucket longer than this (with the amortization gate open) means the
+/// day width is stale for the current event distribution — e.g. a steady
+/// population whose times compressed into a narrow window since the last
+/// rebuild — and triggers a same-size rebuild to re-estimate the width.
+const OVERFULL_BUCKET: usize = 32;
 
 impl<E> CalendarQueue<E> {
     /// Creates an empty queue.
@@ -66,6 +82,8 @@ impl<E> CalendarQueue<E> {
             day_start: 0,
             len: 0,
             seq: 0,
+            head: None,
+            pushes_since_resize: 0,
         }
     }
 
@@ -97,19 +115,76 @@ impl<E> CalendarQueue<E> {
             .rposition(|e| (e.time, e.seq) <= (t, seq))
             .map_or(0, |p| p + 1);
         bucket.insert(pos, Entry { time: t, seq, event });
+        let bucket_len = bucket.len();
         self.len += 1;
+        self.pushes_since_resize += 1;
         if self.len > 2 * self.days.len() {
-            self.resize(self.days.len() * 2);
+            self.resize(self.days.len() * 2); // rebuilds cursor + head
+            return;
+        }
+        // Width staleness: a constant population never triggers the growth
+        // resize above, but its event times can still drift into a window
+        // far narrower than the current day width, piling everything into a
+        // few buckets (O(bucket) inserts). Rebuild at the same day count to
+        // re-estimate the width, amortized over at least `len` pushes.
+        if bucket_len > OVERFULL_BUCKET && self.pushes_since_resize >= self.len {
+            self.resize(self.days.len());
+            return;
         }
         // A push earlier than the cursor's day must pull the cursor back.
         if t < self.day_start {
             self.cursor = self.day_of(t);
             self.day_start = t - t % self.width;
         }
+        // Cached-head maintenance: a strictly earlier event becomes the new
+        // head; an equal-time event keeps the incumbent (lower seq → FIFO).
+        if self.head.map_or(true, |(ht, _)| t < ht) {
+            self.head = Some((t, self.day_of(t)));
+        }
     }
 
     /// Removes and returns the earliest event, or `None` when empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let (t, day) = self.head?;
+        // The head day's first entry is the global minimum: within a bucket
+        // entries are sorted by (time, seq), and the cached head tells us
+        // which bucket holds the earliest time.
+        let e = self.days[day].remove(0);
+        debug_assert_eq!(e.time, t, "cached head out of sync with buckets");
+        self.len -= 1;
+        // Park the cursor on the popped event's day so the next head search
+        // starts where the minimum was.
+        self.cursor = day;
+        self.day_start = t - t % self.width;
+        if self.len * 4 < self.days.len() && self.days.len() > MIN_DAYS {
+            self.resize((self.days.len() / 2).max(MIN_DAYS)); // rebuilds head
+        } else {
+            self.head = self.find_head();
+        }
+        Some((SimTime::from_nanos(e.time), e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any. O(1).
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.head.map(|(t, _)| SimTime::from_nanos(t))
+    }
+
+    /// Removes all pending events. Keeps the current width and capacity.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.days {
+            bucket.clear();
+        }
+        self.len = 0;
+        self.head = None;
+        // `seq` keeps counting so FIFO ordering stays stable across reuse.
+    }
+
+    /// Locates the earliest pending event, advancing the cursor to its day.
+    ///
+    /// This is the classic calendar-queue dequeue walk: at most one year
+    /// from the cursor, then a global scan fallback for sparse far-future
+    /// populations. Amortized O(1) under the resize invariants.
+    fn find_head(&mut self) -> Option<(u64, usize)> {
         if self.len == 0 {
             return None;
         }
@@ -117,16 +192,9 @@ impl<E> CalendarQueue<E> {
         // Walk at most one full year from the cursor.
         for _ in 0..days {
             let day_end = self.day_start + self.width;
-            let bucket = &mut self.days[self.cursor];
-            if let Some(first) = bucket.first() {
+            if let Some(first) = self.days[self.cursor].first() {
                 if first.time < day_end {
-                    let e = bucket.remove(0);
-                    self.len -= 1;
-                    if self.len * 4 < self.days.len() && self.days.len() > MIN_DAYS {
-                        self.resize((self.days.len() / 2).max(MIN_DAYS));
-                        // Cursor state was rebuilt by resize.
-                    }
-                    return Some((SimTime::from_nanos(e.time), e.event));
+                    return Some((first.time, self.cursor));
                 }
             }
             self.cursor = (self.cursor + 1) % days;
@@ -142,25 +210,13 @@ impl<E> CalendarQueue<E> {
             .min_by_key(|&(_, t)| t)?;
         self.cursor = min_day;
         self.day_start = min_time - min_time % self.width;
-        let e = self.days[min_day].remove(0);
-        self.len -= 1;
-        Some((SimTime::from_nanos(e.time), e.event))
-    }
-
-    /// The timestamp of the earliest pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        // O(days): scan bucket heads. Used rarely by the driver.
-        self.days
-            .iter()
-            .filter_map(|b| b.first())
-            .map(|e| (e.time, e.seq))
-            .min()
-            .map(|(t, _)| SimTime::from_nanos(t))
+        Some((min_time, min_day))
     }
 
     /// Rebuilds the calendar with `new_days` buckets and a width estimated
     /// from the events nearest the head.
     fn resize(&mut self, new_days: usize) {
+        self.pushes_since_resize = 0;
         let mut entries: Vec<Entry<E>> = self.days.drain(..).flatten().collect();
         entries.sort_by_key(|e| (e.time, e.seq));
         // Width heuristic: ~3x the mean gap of the first few events, so a
@@ -172,6 +228,9 @@ impl<E> CalendarQueue<E> {
         if let Some(first) = entries.first() {
             self.cursor = ((first.time / self.width) % new_days as u64) as usize;
         }
+        self.head = entries
+            .first()
+            .map(|e| (e.time, ((e.time / self.width) % new_days as u64) as usize));
         for e in entries {
             let day = ((e.time / self.width) % new_days as u64) as usize;
             self.days[day].push(e); // already globally sorted → per-bucket sorted
@@ -285,5 +344,54 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(3)));
         q.pop();
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+    }
+
+    #[test]
+    fn peek_tracks_head_through_mutations() {
+        let mut q = CalendarQueue::new();
+        assert_eq!(q.peek_time(), None);
+        // Grow through several resizes, checking the cached head at every
+        // step against a freshly computed minimum.
+        let mut pending: Vec<u64> = Vec::new();
+        for i in 0..300u64 {
+            let t = (i * 6151) % 50_000;
+            q.push(SimTime::from_nanos(t), i);
+            pending.push(t);
+            assert_eq!(
+                q.peek_time().map(SimTime::as_nanos),
+                pending.iter().copied().min()
+            );
+        }
+        // Drain half, still checking.
+        for _ in 0..150 {
+            let (t, _) = q.pop().unwrap();
+            let idx = pending
+                .iter()
+                .position(|&p| p == t.as_nanos())
+                .expect("popped unknown time");
+            pending.swap_remove(idx);
+            assert_eq!(
+                q.peek_time().map(SimTime::as_nanos),
+                pending.iter().copied().min()
+            );
+        }
+    }
+
+    #[test]
+    fn clear_resets_population() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100u64 {
+            q.push(SimTime::from_micros(i), i);
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+        // Still usable (and still FIFO) after clear.
+        let t = SimTime::from_micros(1);
+        q.push(t, 1);
+        q.push(t, 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
     }
 }

@@ -9,9 +9,11 @@
 //! The kernel is deliberately small and dependency-free:
 //!
 //! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution virtual time.
-//! * [`EventQueue`] — a stable priority queue of timestamped events
-//!   (ties broken by insertion order so runs are reproducible).
-//! * [`Simulation`] — clock + queue + scheduling API.
+//! * [`EventQueue`] / [`CalendarQueue`] / [`AdaptiveQueue`] — stable
+//!   priority queues of timestamped events (ties broken by insertion order
+//!   so runs are reproducible), unified by the [`QueueBackend`] trait.
+//! * [`Simulation`] — clock + pluggable queue backend + scheduling API;
+//!   defaults to the adaptive backend.
 //! * [`SimRng`] — a seedable xoshiro256++ PRNG so experiments are
 //!   deterministic without depending on platform entropy.
 //!
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod calendar;
 mod queue;
 mod rng;
@@ -45,9 +48,12 @@ mod sim;
 mod time;
 mod trace;
 
+pub use backend::{
+    AdaptiveQueue, BackendKind, QueueBackend, DEFAULT_SWITCH_DOWN, DEFAULT_SWITCH_UP,
+};
 pub use calendar::CalendarQueue;
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use sim::Simulation;
+pub use sim::{CalendarSimulation, HeapSimulation, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceEntry};

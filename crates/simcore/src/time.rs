@@ -5,7 +5,7 @@
 //! durations from being confused (C-NEWTYPE): [`SimTime`] is a point on the
 //! virtual timeline, [`SimDuration`] is a span between two points.
 
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -277,26 +277,26 @@ impl fmt::Display for SimDuration {
 }
 
 impl Serialize for SimTime {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_u64(self.0)
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
     }
 }
 
-impl<'de> Deserialize<'de> for SimTime {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        u64::deserialize(deserializer).map(SimTime)
+impl Deserialize for SimTime {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        u64::from_value(v).map(SimTime)
     }
 }
 
 impl Serialize for SimDuration {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_u64(self.0)
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
     }
 }
 
-impl<'de> Deserialize<'de> for SimDuration {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        u64::deserialize(deserializer).map(SimDuration)
+impl Deserialize for SimDuration {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        u64::from_value(v).map(SimDuration)
     }
 }
 

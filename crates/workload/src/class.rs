@@ -2,6 +2,7 @@
 
 use asyncinv_simcore::{SimRng, SimTime};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// HTTP/2-style server push: a request may be answered with additional
 /// pushed resources, so the total bytes written per request vary.
@@ -41,8 +42,9 @@ pub struct SizeDrift {
 /// distribution (its Section III).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RequestClass {
-    /// Display name, e.g. `"100KB"`.
-    pub name: String,
+    /// Display name, e.g. `"100KB"`. Interned as `Arc<str>` so result
+    /// records can share it instead of re-allocating per summary.
+    pub name: Arc<str>,
     /// Response payload size in bytes (before any drift).
     pub response_bytes: usize,
     /// Request payload size in bytes (HTTP GET-ish; always small).
@@ -55,7 +57,7 @@ pub struct RequestClass {
 
 impl RequestClass {
     /// A class with the given name and response size and a 512 B request.
-    pub fn new(name: impl Into<String>, response_bytes: usize) -> Self {
+    pub fn new(name: impl Into<Arc<str>>, response_bytes: usize) -> Self {
         RequestClass {
             name: name.into(),
             response_bytes,
@@ -128,7 +130,7 @@ impl RequestClass {
 /// let mut rng = SimRng::new(3);
 /// let mix = Mix::heavy_light(0.05); // the paper's Fig 11 x-axis
 /// let heavies = (0..10_000)
-///     .filter(|_| mix.classes()[mix.sample(&mut rng)].name == "heavy")
+///     .filter(|_| mix.classes()[mix.sample(&mut rng)].name.as_ref() == "heavy")
 ///     .count();
 /// assert!((300..800).contains(&heavies)); // ~5%
 /// ```
@@ -157,7 +159,7 @@ impl Mix {
     }
 
     /// A single-class mix (most micro-benchmark cells).
-    pub fn single(name: impl Into<String>, response_bytes: usize) -> Self {
+    pub fn single(name: impl Into<Arc<str>>, response_bytes: usize) -> Self {
         Mix::new(vec![(RequestClass::new(name, response_bytes), 1.0)])
     }
 
@@ -311,8 +313,8 @@ mod tests {
         let all_light = Mix::heavy_light(0.0);
         let all_heavy = Mix::heavy_light(1.0);
         for _ in 0..100 {
-            assert_eq!(all_light.classes()[all_light.sample(&mut rng)].name, "light");
-            assert_eq!(all_heavy.classes()[all_heavy.sample(&mut rng)].name, "heavy");
+            assert_eq!(all_light.classes()[all_light.sample(&mut rng)].name.as_ref(), "light");
+            assert_eq!(all_heavy.classes()[all_heavy.sample(&mut rng)].name.as_ref(), "heavy");
         }
     }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Smoke test: everything a PR must keep green, in one command.
+#
+#   scripts/smoke.sh
+#
+# Builds release binaries, runs the full test suite, reproduces every
+# paper artifact at Quick fidelity through the parallel cell runner, and
+# checks that the Criterion benches still compile.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== artifact smoke (Quick fidelity, parallel runner) =="
+cargo run --release -p asyncinv-bench --bin repro_all -- --quick
+
+echo "== benches compile =="
+cargo bench --no-run
+
+echo "smoke OK"

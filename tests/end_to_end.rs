@@ -127,8 +127,8 @@ fn per_class_breakdown() {
     assert_eq!(s.per_class.len(), 2);
     let heavy = &s.per_class[0];
     let light = &s.per_class[1];
-    assert_eq!(heavy.class, "heavy");
-    assert_eq!(light.class, "light");
+    assert_eq!(heavy.class.as_ref(), "heavy");
+    assert_eq!(light.class.as_ref(), "light");
     assert!(heavy.completions > 0 && light.completions > 0);
     assert!(
         heavy.mean_rt_us > light.mean_rt_us * 3,

@@ -1,6 +1,9 @@
 //! Property tests of the simulation kernel.
 
-use asyncinv_lab::simcore::{CalendarQueue, EventQueue, SimDuration, SimRng, SimTime, Simulation};
+use asyncinv_lab::simcore::{
+    AdaptiveQueue, CalendarQueue, EventQueue, QueueBackend, SimDuration, SimRng, SimTime,
+    Simulation,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -86,6 +89,66 @@ proptest! {
             prop_assert_eq!(a, b, "drain divergence");
             if b.is_none() { break; }
         }
+    }
+
+    /// All three kernel backends — heap, calendar, and the adaptive queue
+    /// (including one with tiny thresholds that forces repeated
+    /// heap<->calendar migrations) — produce byte-identical pop sequences
+    /// for arbitrary interleavings of pushes and pops. This is the property
+    /// that lets [`Simulation`] default to the adaptive backend.
+    #[test]
+    fn backends_pop_identically(ops in prop::collection::vec((0u64..50_000, any::<bool>()), 1..500)) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut ada = AdaptiveQueue::new();
+        let mut ada_tiny = AdaptiveQueue::with_thresholds(8, 3);
+        let mut next_id = 0u64;
+        for (t, do_pop) in ops {
+            if do_pop {
+                let a = QueueBackend::pop(&mut heap);
+                prop_assert_eq!(a, QueueBackend::pop(&mut cal), "calendar divergence");
+                prop_assert_eq!(a, QueueBackend::pop(&mut ada), "adaptive divergence");
+                prop_assert_eq!(a, QueueBackend::pop(&mut ada_tiny), "migrating-adaptive divergence");
+            } else {
+                let time = SimTime::from_nanos(t * 97);
+                heap.push(time, next_id);
+                cal.push(time, next_id);
+                ada.push(time, next_id);
+                ada_tiny.push(time, next_id);
+                next_id += 1;
+            }
+            prop_assert_eq!(QueueBackend::peek_time(&heap), QueueBackend::peek_time(&cal));
+            prop_assert_eq!(QueueBackend::peek_time(&heap), QueueBackend::peek_time(&ada));
+            prop_assert_eq!(QueueBackend::peek_time(&heap), QueueBackend::peek_time(&ada_tiny));
+        }
+        loop {
+            let a = QueueBackend::pop(&mut heap);
+            prop_assert_eq!(a, QueueBackend::pop(&mut cal), "calendar drain divergence");
+            prop_assert_eq!(a, QueueBackend::pop(&mut ada), "adaptive drain divergence");
+            prop_assert_eq!(a, QueueBackend::pop(&mut ada_tiny), "migrating drain divergence");
+            if a.is_none() { break; }
+        }
+    }
+
+    /// A simulation pinned to each backend delivers the exact same
+    /// (time, payload) stream for random schedules.
+    #[test]
+    fn simulations_agree_across_backends(delays in prop::collection::vec(0u64..100_000, 1..300)) {
+        let mut on_heap: Simulation<u64, EventQueue<u64>> = Simulation::default();
+        let mut on_cal: Simulation<u64, CalendarQueue<u64>> = Simulation::default();
+        let mut on_ada: Simulation<u64, AdaptiveQueue<u64>> = Simulation::default();
+        for &d in &delays {
+            on_heap.schedule(SimDuration::from_nanos(d), d);
+            on_cal.schedule(SimDuration::from_nanos(d), d);
+            on_ada.schedule(SimDuration::from_nanos(d), d);
+        }
+        loop {
+            let a = on_heap.next_event();
+            prop_assert_eq!(a, on_cal.next_event());
+            prop_assert_eq!(a, on_ada.next_event());
+            if a.is_none() { break; }
+        }
+        prop_assert_eq!(on_heap.events_processed(), delays.len() as u64);
     }
 
     /// Uniform range stays in range for arbitrary seeds and bounds.

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`] — as a simple
+//! wall-clock harness: each benchmark is warmed up, then timed over
+//! batches until a time budget is spent, and the median batch gives the
+//! reported ns/iter. No statistics engine, plots, or baselines; good for
+//! relative comparisons on one machine, which is all the recorded
+//! numbers claim.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (also parses `--bench`/filter CLI args).
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measure_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 20,
+            measure_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process CLI args: flags are ignored, the
+    /// first free argument is a substring filter on benchmark names.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            ..Criterion::default()
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measure_time: self.measure_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(5);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (restores the default sample size).
+    pub fn finish(self) {
+        self.criterion.sample_size = Criterion::default().sample_size;
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measure_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording per-iteration wall-clock samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up and per-batch iteration-count calibration.
+        let mut iters_per_batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            let batch_target = self.measure_time.as_nanos() as u64
+                / self.sample_size as u64;
+            if elapsed.as_nanos() as u64 >= batch_target.min(10_000_000) || iters_per_batch > 1 << 30
+            {
+                break;
+            }
+            iters_per_batch *= 2;
+        }
+        // Timed samples.
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_batch as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let lo = self.samples_ns[0];
+        let hi = self.samples_ns[self.samples_ns.len() - 1];
+        println!(
+            "{name:<40} {:>12}/iter  [{} .. {}]",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}us", ns / 1e3)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_samples() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 5,
+            measure_time: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(3u64).wrapping_mul(7));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 5,
+            measure_time: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(6);
+        g.bench_function("x", |b| b.iter(|| black_box(1u64 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            sample_size: 5,
+            measure_time: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            b.iter(|| 1u64);
+            ran = true;
+        });
+        assert!(!ran);
+    }
+}

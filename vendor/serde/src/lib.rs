@@ -1,0 +1,334 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal serialization framework under the same crate name. It keeps the
+//! public surface the workspace actually uses — `#[derive(Serialize,
+//! Deserialize)]`, `serde_json::to_string{,_pretty}` / `from_str`, and the
+//! `#[serde(default)]` field attribute — but is built on a single concrete
+//! data model, [`Value`], instead of serde's generic one:
+//!
+//! * [`Serialize`] — converts a value into a [`Value`] tree.
+//! * [`Deserialize`] — reconstructs a value from a [`Value`] tree.
+//! * Derive macros (from the sibling `serde_derive` crate) generate both
+//!   for structs with named fields and for enums with unit, one-field
+//!   tuple, and struct variants, using serde's externally-tagged layout.
+//!
+//! Not supported (and not used by this workspace): borrowed deserialization,
+//! non-self-describing formats, generic containers beyond `Vec`/`Option`,
+//! and serde attributes other than `#[serde(default)]`.
+
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every [`Serialize`]/[`Deserialize`] impl
+/// talks to (a superset of JSON: integers keep their signedness).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, with insertion order preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of a `Map`, or `None`.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of a `Seq`, or `None`.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a `Map`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Serialization/deserialization error (a message).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts a value into the [`Value`] data model.
+pub trait Serialize {
+    /// Builds the [`Value`] tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- derive-macro support helpers (not part of the public API) ----
+
+/// Looks up and deserializes a required struct field.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(m: &[(String, Value)], key: &str, ty: &str) -> Result<T, Error> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| Error::custom(format!("{ty}.{key}: {e}"))),
+        None => Err(Error::custom(format!("{ty}: missing field `{key}`"))),
+    }
+}
+
+/// Looks up a `#[serde(default)]` field, falling back to `Default`.
+#[doc(hidden)]
+pub fn __field_or_default<T: Deserialize + Default>(
+    m: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, Error> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| Error::custom(format!("{ty}.{key}: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
+// ---- impls for primitives and std containers ----
+
+macro_rules! uint_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::UInt(n) => n,
+                    Value::Int(n) if n >= 0 => n as u64,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected unsigned integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+uint_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match *v {
+                    Value::UInt(n) => i64::try_from(n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    Value::Int(n) => n,
+                    Value::Float(f) if f.fract() == 0.0 => f as i64,
+                    ref other => {
+                        return Err(Error::custom(format!(
+                            "expected integer, got {other:?}"
+                        )))
+                    }
+                };
+                <$t>::try_from(n).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+int_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match *v {
+            Value::Float(f) => Ok(f),
+            Value::UInt(n) => Ok(n as f64),
+            Value::Int(n) => Ok(n as f64),
+            ref other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(Arc::from)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        let v: Vec<u32> = Deserialize::from_value(&vec![1u32, 2].to_value()).unwrap();
+        assert_eq!(v, [1, 2]);
+        let o: Option<String> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn map_lookup() {
+        let v = Value::Map(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(v.get("a"), Some(&Value::UInt(1)));
+        assert_eq!(v.get("b"), None);
+    }
+}

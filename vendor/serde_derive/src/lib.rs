@@ -1,0 +1,379 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! shapes this workspace uses, without depending on `syn`/`quote` (the
+//! container is offline): a hand-rolled token walk extracts just the type
+//! name, field names, and variant shapes, then the impls are emitted as
+//! strings. Supported input shapes:
+//!
+//! * structs with named fields (`#[serde(default)]` honored per field);
+//! * enums with unit variants, one-field tuple variants, and struct
+//!   variants (serde's externally-tagged representation).
+//!
+//! Anything else (generics, tuple structs, multi-field tuple variants)
+//! produces a compile error naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple1,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse(input) {
+        Ok(item) => render(&item, which).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [..]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde derive does not support generics (type {name})"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "vendored serde derive only supports brace-bodied structs/enums (type {name})"
+            ))
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Input::Struct {
+            name,
+            fields: parse_fields(body)?,
+        }),
+        "enum" => Ok(Input::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Splits a brace-group body at top-level commas.
+fn split_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => parts.push(Vec::new()),
+            _ => parts.last_mut().unwrap().push(tt),
+        }
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+/// Does an attribute group (the `[...]` after `#`) mark `serde(default)`?
+fn attr_is_serde_default(g: &proc_macro::Group) -> bool {
+    let mut toks = g.stream().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(inner)))
+            if id.to_string() == "serde" =>
+        {
+            inner.stream().into_iter().any(
+                |t| matches!(t, TokenTree::Ident(i) if i.to_string() == "default"),
+            )
+        }
+        _ => false,
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for part in split_commas(stream) {
+        let mut has_default = false;
+        let mut j = 0;
+        loop {
+            match part.get(j) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = part.get(j + 1) {
+                        has_default |= attr_is_serde_default(g);
+                    }
+                    j += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    j += 1;
+                    if let Some(TokenTree::Group(g)) = part.get(j) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            j += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match part.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match part.get(j + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(Field { name, has_default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_commas(stream) {
+        let mut j = 0;
+        // Skip variant attributes (e.g. `#[default]`).
+        while let Some(TokenTree::Punct(p)) = part.get(j) {
+            if p.as_char() == '#' {
+                j += 2;
+            } else {
+                break;
+            }
+        }
+        let name = match part.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let kind = match part.get(j + 1) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let field_count = split_commas(g.stream()).len();
+                if field_count != 1 {
+                    return Err(format!(
+                        "vendored serde derive supports only one-field tuple variants \
+                         (variant {name} has {field_count})"
+                    ));
+                }
+                VariantKind::Tuple1
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Struct(parse_fields(g.stream())?)
+            }
+            other => return Err(format!("unsupported variant shape after {name}: {other:?}")),
+        };
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn render(item: &Input, which: Which) -> String {
+    match (item, which) {
+        (Input::Struct { name, fields }, Which::Serialize) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     let mut m = Vec::new();\n{pushes}\n\
+                     ::serde::Value::Map(m)\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        (Input::Struct { name, fields }, Which::Deserialize) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| field_init(f, name))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                       concat!(\"expected map for \", stringify!({name}))))?;\n\
+                     Ok({name} {{\n{inits}\n}})\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        (Input::Enum { name, variants }, Which::Serialize) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                        ),
+                        VariantKind::Tuple1 => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                             ::serde::Serialize::to_value(f0))]),\n"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "fm.push(({:?}.to_string(), \
+                                         ::serde::Serialize::to_value({})));",
+                                        f.name, f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {{\n\
+                                   let mut fm = Vec::new();\n{pushes}\n\
+                                   ::serde::Value::Map(vec![({vn:?}.to_string(), \
+                                   ::serde::Value::Map(fm))])\n\
+                                 }},\n"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{\n{arms}\n}}\n\
+                   }}\n\
+                 }}"
+            )
+        }
+        (Input::Enum { name, variants }, Which::Deserialize) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return Ok({name}::{}),\n", v.name, v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple1 => Some(format!(
+                            "{vn:?} => return Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let inits: String =
+                                fields.iter().map(|f| field_init_from(f, name, "fm")).collect();
+                            Some(format!(
+                                "{vn:?} => {{\n\
+                                   let fm = inner.as_map().ok_or_else(|| \
+                                     ::serde::Error::custom(concat!(\"expected map payload for \", \
+                                     stringify!({name}::{vn}))))?;\n\
+                                   return Ok({name}::{vn} {{\n{inits}\n}});\n\
+                                 }},\n"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     if let ::serde::Value::Str(s) = v {{\n\
+                       match s.as_str() {{\n{unit_arms}\n_ => {{}}\n}}\n\
+                     }}\n\
+                     if let Some(m) = v.as_map() {{\n\
+                       if m.len() == 1 {{\n\
+                         let (tag, inner) = (&m[0].0, &m[0].1);\n\
+                         match tag.as_str() {{\n{tagged_arms}\n_ => {{}}\n}}\n\
+                       }}\n\
+                     }}\n\
+                     Err(::serde::Error::custom(format!(\
+                       \"no variant of {{}} matches {{:?}}\", stringify!({name}), v)))\n\
+                   }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn field_init(f: &Field, ty: &str) -> String {
+    let helper = if f.has_default {
+        "__field_or_default"
+    } else {
+        "__field"
+    };
+    format!(
+        "{}: ::serde::{helper}(m, {:?}, stringify!({ty}))?,\n",
+        f.name, f.name
+    )
+}
+
+fn field_init_from(f: &Field, ty: &str, map_var: &str) -> String {
+    let helper = if f.has_default {
+        "__field_or_default"
+    } else {
+        "__field"
+    };
+    format!(
+        "{}: ::serde::{helper}({map_var}, {:?}, stringify!({ty}))?,\n",
+        f.name, f.name
+    )
+}
