@@ -67,4 +67,5 @@ fn main() {
             None => println!("{name}: no saturation within the sweep"),
         }
     }
+    asyncinv_bench::export_observability_rubbos("fig01_rubbos", 1000);
 }

@@ -38,4 +38,10 @@ fn main() {
         }
         println!("{chart}");
     }
+    asyncinv_bench::export_observability_micro(
+        "fig02_sync_vs_async",
+        64,
+        100,
+        asyncinv::ServerKind::AsyncPool,
+    );
 }

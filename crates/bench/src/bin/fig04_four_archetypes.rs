@@ -21,4 +21,12 @@ fn main() {
     };
     let rows = asyncinv::figures::fig04_four_archetypes(fid, concs);
     asyncinv_bench::print_and_export("fig04_four_archetypes", &throughput_table(&rows));
+    // With --trace-out/--metrics-out: export one traced sTomcat-Async cell
+    // (the architecture whose Fig 3 flow the trace makes visible).
+    asyncinv_bench::export_observability_micro(
+        "fig04_four_archetypes",
+        16,
+        100,
+        asyncinv::ServerKind::AsyncPool,
+    );
 }

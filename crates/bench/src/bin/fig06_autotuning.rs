@@ -22,4 +22,10 @@ fn main() {
     };
     let rows = asyncinv::figures::fig06_autotuning(fid, lats);
     asyncinv_bench::print_and_export("fig06_autotuning", &throughput_table(&rows));
+    asyncinv_bench::export_observability_micro(
+        "fig06_autotuning",
+        16,
+        100,
+        asyncinv::ServerKind::AsyncPoolFix,
+    );
 }

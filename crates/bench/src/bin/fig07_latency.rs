@@ -43,4 +43,10 @@ fn main() {
         chart.series(name, pts);
     }
     println!("{chart}");
+    asyncinv_bench::export_observability_micro(
+        "fig07_latency",
+        16,
+        100,
+        asyncinv::ServerKind::SyncThread,
+    );
 }

@@ -20,4 +20,11 @@ fn main() {
     };
     let rows = asyncinv::figures::fig09_netty(fid, concs);
     asyncinv_bench::print_and_export("fig09_netty", &throughput_table(&rows));
+    // The 100 KB cell, where Netty's park/resume and write-spin marks show.
+    asyncinv_bench::export_observability_micro(
+        "fig09_netty",
+        8,
+        100 * 1024,
+        asyncinv::ServerKind::NettyLike,
+    );
 }

@@ -51,4 +51,10 @@ fn main() {
         }
         asyncinv_bench::print_and_export(csv, &t);
     }
+    asyncinv_bench::export_observability_micro(
+        "fig11_hybrid",
+        16,
+        100,
+        asyncinv::ServerKind::Hybrid,
+    );
 }

@@ -47,11 +47,22 @@ struct RunnerRow {
     speedup: f64,
 }
 
+/// Wall-clock cost of observability: the same grid untraced (NoopObserver,
+/// the default) and with full tracing into a `Recorder`.
+#[derive(Debug, Serialize)]
+struct ObsRow {
+    cells: usize,
+    untraced_ms: f64,
+    traced_ms: f64,
+    overhead_pct: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct KernelBench {
     hold: Vec<HoldRow>,
     grid: Vec<GridRow>,
     runner: RunnerRow,
+    observability: ObsRow,
 }
 
 /// The steady state of a discrete-event simulation: each iteration peeks
@@ -198,12 +209,37 @@ fn main() {
         runner.cells, runner.serial_ms, runner.threads, runner.parallel_ms, runner.speedup
     );
 
-    // --- 4. Record. ---
+    // --- 4. Observability overhead: untraced vs fully traced grid. ---
+    let start = Instant::now();
+    for &(kind, size, conc) in &cells {
+        std::hint::black_box(Experiment::new(Fidelity::Quick.micro(conc, size)).run(kind));
+    }
+    let untraced_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    for &(kind, size, conc) in &cells {
+        let mut cfg = Fidelity::Quick.micro(conc, size);
+        cfg.trace_capacity = 1 << 14;
+        std::hint::black_box(Experiment::new(cfg).run_traced(kind));
+    }
+    let traced_ms = start.elapsed().as_secs_f64() * 1e3;
+    let observability = ObsRow {
+        cells: cells.len(),
+        untraced_ms,
+        traced_ms,
+        overhead_pct: (traced_ms / untraced_ms.max(1e-9) - 1.0) * 100.0,
+    };
+    println!(
+        "\nobservability: {} cells  untraced {:.0} ms  traced {:.0} ms  overhead {:.1}%",
+        observability.cells, untraced_ms, traced_ms, observability.overhead_pct
+    );
+
+    // --- 5. Record. ---
     let out = std::env::var("ASYNCINV_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernel.json".into());
     let report = KernelBench {
         hold,
         grid: grid_rows,
         runner,
+        observability,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize kernel bench");
     std::fs::write(&out, json + "\n").expect("write kernel bench json");

@@ -6,11 +6,14 @@
 //! cargo run --release -p asyncinv-bench --bin repro_all -- --quick # smoke
 //! ```
 //!
-//! Set `ASYNCINV_CSV_DIR=dir` to also export every table as CSV.
+//! Set `ASYNCINV_CSV_DIR=dir` to also export every table as CSV, and
+//! `--trace-out dir` / `--metrics-out dir` to export one Chrome trace /
+//! metrics snapshot per artifact (see `docs/observability.md`).
 
 use std::process::Command;
 
-const ARTIFACTS: [&str; 21] = [
+const ARTIFACTS: [&str; 22] = [
+    "trace_audit",
     "table2_cs_per_request",
     "table4_write_spin",
     "table1_context_switches",
@@ -35,9 +38,12 @@ const ARTIFACTS: [&str; 21] = [
 ];
 
 fn main() {
-    // Export `--threads N` as ASYNCINV_THREADS so every child artifact
-    // inherits it even though the flag is also forwarded verbatim.
+    // Export `--threads N` as ASYNCINV_THREADS (and the observability
+    // flags as ASYNCINV_TRACE_OUT / ASYNCINV_METRICS_OUT) so every child
+    // artifact inherits them even though the flags are also forwarded
+    // verbatim.
     asyncinv_bench::apply_threads_arg();
+    asyncinv_bench::apply_obs_args();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin directory");

@@ -32,4 +32,10 @@ fn main() {
         ]);
     }
     asyncinv_bench::print_and_export("table1_context_switches", &t);
+    asyncinv_bench::export_observability_micro(
+        "table1_context_switches",
+        100,
+        100,
+        asyncinv::ServerKind::AsyncPool,
+    );
 }

@@ -21,4 +21,10 @@ fn main() {
         t.row(vec![r.server.clone(), fmt_f64(r.cs_per_req, 3), p.into()]);
     }
     asyncinv_bench::print_and_export("table2_cs_per_request", &t);
+    asyncinv_bench::export_observability_micro(
+        "table2_cs_per_request",
+        1,
+        100,
+        asyncinv::ServerKind::AsyncPool,
+    );
 }

@@ -35,4 +35,10 @@ fn main() {
         ]);
     }
     asyncinv_bench::print_and_export("table3_cpu_split", &t);
+    asyncinv_bench::export_observability_micro(
+        "table3_cpu_split",
+        100,
+        100,
+        asyncinv::ServerKind::AsyncPool,
+    );
 }

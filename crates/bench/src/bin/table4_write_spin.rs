@@ -32,4 +32,10 @@ fn main() {
         ]);
     }
     asyncinv_bench::print_and_export("table4_write_spin", &t);
+    asyncinv_bench::export_observability_micro(
+        "table4_write_spin",
+        1,
+        100 * 1024,
+        asyncinv::ServerKind::SingleThread,
+    );
 }

@@ -10,17 +10,31 @@
 //! numbers in `EXPERIMENTS.md` come from full runs.
 
 use asyncinv::figures::Fidelity;
-use asyncinv::{fmt_f64, RunSummary, Table};
+use asyncinv::obs::audit;
+use asyncinv::{fmt_f64, Experiment, ExperimentConfig, RunSummary, ServerKind, Table};
+
+/// Environment variable mirroring `--trace-out DIR`: directory receiving
+/// `<artifact>.trace.json` (Chrome trace-event format) and
+/// `<artifact>.trace.jsonl` exports from each harness binary.
+pub const TRACE_OUT_ENV: &str = "ASYNCINV_TRACE_OUT";
+
+/// Environment variable mirroring `--metrics-out DIR`: directory receiving
+/// `<artifact>.metrics.json` registry exports from each harness binary.
+pub const METRICS_OUT_ENV: &str = "ASYNCINV_METRICS_OUT";
 
 /// Parses the common harness flags: `--quick` / `ASYNCINV_QUICK` for
-/// fidelity, and `--threads N` for the parallel cell runner.
+/// fidelity, `--threads N` for the parallel cell runner, and
+/// `--trace-out DIR` / `--metrics-out DIR` for observability exports.
 ///
 /// `--threads` is applied by setting [`asyncinv::runner::THREADS_ENV`] in
 /// this process's environment, which both routes it to
 /// [`asyncinv::runner::configured_threads`] and lets child processes (the
-/// per-artifact binaries spawned by `repro_all`) inherit it.
+/// per-artifact binaries spawned by `repro_all`) inherit it. The
+/// observability flags mirror to [`TRACE_OUT_ENV`] / [`METRICS_OUT_ENV`]
+/// the same way.
 pub fn fidelity_from_args() -> Fidelity {
     apply_threads_arg();
+    apply_obs_args();
     let quick_flag = std::env::args().any(|a| a == "--quick");
     let quick_env = std::env::var("ASYNCINV_QUICK").is_ok_and(|v| v == "1");
     if quick_flag || quick_env {
@@ -59,6 +73,118 @@ pub fn apply_threads_arg() -> Option<usize> {
         }
     }
     None
+}
+
+/// Applies `--trace-out DIR` / `--metrics-out DIR` (or `=DIR`) overrides to
+/// the [`TRACE_OUT_ENV`] / [`METRICS_OUT_ENV`] environment variables, so the
+/// per-artifact binaries spawned by `repro_all` inherit them. Returns the
+/// (trace, metrics) directories in effect, if any.
+pub fn apply_obs_args() -> (Option<String>, Option<String>) {
+    for (flag, env) in [("--trace-out", TRACE_OUT_ENV), ("--metrics-out", METRICS_OUT_ENV)] {
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            let value = if a == flag {
+                args.next()
+            } else {
+                a.strip_prefix(flag)
+                    .and_then(|v| v.strip_prefix('='))
+                    .map(str::to_string)
+            };
+            if let Some(dir) = value {
+                if dir.is_empty() {
+                    eprintln!("warning: ignoring empty {flag} value");
+                } else {
+                    std::env::set_var(env, &dir);
+                }
+                break;
+            }
+        }
+    }
+    (std::env::var(TRACE_OUT_ENV).ok(), std::env::var(METRICS_OUT_ENV).ok())
+}
+
+/// Runs one representative traced cell for `artifact` and writes the
+/// observability exports:
+///
+/// * `<trace-out>/<artifact>.trace.json` — Chrome trace-event JSON (load in
+///   Perfetto / `chrome://tracing`; one track per simulated thread).
+/// * `<trace-out>/<artifact>.trace.jsonl` — the same events, one JSON
+///   object per line.
+/// * `<metrics-out>/<artifact>.metrics.json` — the metrics registry.
+///
+/// A no-op unless `--trace-out` / `--metrics-out` (or their environment
+/// variables) are set, so untraced harness runs pay nothing. The traced
+/// cell is also audited against its own `RunSummary`; a mismatch is
+/// reported on stderr but does not kill the artifact run.
+pub fn export_observability(artifact: &str, mut cfg: ExperimentConfig, kind: ServerKind) {
+    let trace_dir = std::env::var(TRACE_OUT_ENV).ok();
+    let metrics_dir = std::env::var(METRICS_OUT_ENV).ok();
+    if trace_dir.is_none() && metrics_dir.is_none() {
+        return;
+    }
+    if cfg.trace_capacity == 0 {
+        cfg.trace_capacity = 1 << 16;
+    }
+    let (summary, rec) = Experiment::new(cfg).run_traced(kind);
+    let report = audit(&summary, &rec);
+    if !report.pass() {
+        eprintln!("warning: {artifact} trace audit failed:\n{report}");
+    }
+    write_exports(artifact, trace_dir.as_deref(), metrics_dir.as_deref(), &rec);
+}
+
+/// RUBBoS variant of [`export_observability`]: a short traced macro run of
+/// the asynchronous Tomcat with the given user population. No audit — the
+/// macro engine reports a [`asyncinv::rubbos::RubbosSummary`], which the
+/// Table I/II audit does not cover.
+pub fn export_observability_rubbos(artifact: &str, users: usize) {
+    let trace_dir = std::env::var(TRACE_OUT_ENV).ok();
+    let metrics_dir = std::env::var(METRICS_OUT_ENV).ok();
+    if trace_dir.is_none() && metrics_dir.is_none() {
+        return;
+    }
+    let mut exp = asyncinv::rubbos::RubbosExperiment::new(users);
+    exp.warmup = asyncinv::SimDuration::from_secs(2);
+    exp.measure = asyncinv::SimDuration::from_secs(5);
+    let (_, rec) = exp.run_traced(ServerKind::AsyncPool, 1 << 16);
+    write_exports(artifact, trace_dir.as_deref(), metrics_dir.as_deref(), &rec);
+}
+
+fn write_exports(
+    artifact: &str,
+    trace_dir: Option<&str>,
+    metrics_dir: Option<&str>,
+    rec: &asyncinv::obs::Recorder,
+) {
+    let write = |dir: &str, file: String, body: String| {
+        let path = std::path::Path::new(dir).join(file);
+        match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, body)) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    };
+    if let Some(dir) = trace_dir {
+        write(dir, format!("{artifact}.trace.json"), rec.chrome_trace_json());
+        write(dir, format!("{artifact}.trace.jsonl"), rec.jsonl());
+    }
+    if let Some(dir) = metrics_dir {
+        write(dir, format!("{artifact}.metrics.json"), rec.registry().to_json());
+    }
+}
+
+/// Convenience wrapper over [`export_observability`] for the standard
+/// micro-benchmark cell shape: a short traced run of `kind` at the given
+/// concurrency and response size.
+pub fn export_observability_micro(
+    artifact: &str,
+    concurrency: usize,
+    bytes: usize,
+    kind: ServerKind,
+) {
+    let mut cfg = ExperimentConfig::micro(concurrency, bytes);
+    cfg.warmup = asyncinv::SimDuration::from_millis(200);
+    cfg.measure = asyncinv::SimDuration::from_secs(1);
+    export_observability(artifact, cfg, kind);
 }
 
 /// Renders a throughput-oriented table of run summaries, one row each.

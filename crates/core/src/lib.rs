@@ -60,6 +60,17 @@ pub mod rubbos {
     };
 }
 
+/// Structured tracing, metrics and exporters (see `docs/observability.md`).
+pub mod obs {
+    pub use asyncinv_servers::trace_codes;
+    pub use asyncinv_servers::{
+        audit, AuditReport, MetricsRegistry, NoopObserver, Observer, Recorder, TraceEvent,
+        TraceKind,
+    };
+    pub use asyncinv_obs::export::{chrome_trace_json, jsonl, validate_chrome_trace};
+    pub use asyncinv_obs::{AuditCheck, LogHistogram, TraceRing};
+}
+
 /// Workload building blocks re-exported for experiment construction.
 pub mod workload {
     pub use asyncinv_workload::{

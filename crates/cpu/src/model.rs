@@ -43,6 +43,30 @@ pub struct Completion {
     pub tag: u64,
 }
 
+/// A scheduling moment, recorded (only when [`CpuModel::record_sched`] is
+/// on) for observability layers that reconstruct per-thread timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// A core dispatched a thread different from its previous occupant —
+    /// recorded exactly when the `context_switches` statistic increments,
+    /// so a log's switch count always equals the counter delta.
+    Switch {
+        /// When the switch began.
+        at: SimTime,
+        /// The incoming thread.
+        thread: ThreadId,
+        /// Whether the thread migrated off its home core (work stealing).
+        migrated: bool,
+    },
+    /// A thread blocked with no pending work.
+    Park {
+        /// When the thread blocked.
+        at: SimTime,
+        /// The parking thread.
+        thread: ThreadId,
+    },
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ThreadState {
     /// No pending work; not queued.
@@ -58,7 +82,6 @@ enum ThreadState {
 
 #[derive(Debug)]
 struct Thread {
-    #[allow(dead_code)] // retained for traces and debugging
     name: String,
     /// Home core under the per-core scheduling policy.
     home: CoreId,
@@ -100,6 +123,10 @@ pub struct CpuModel {
     /// Per-core run queues ([`SchedPolicy::PerCore`]).
     core_ready: Vec<VecDeque<ThreadId>>,
     stats: CpuStats,
+    /// Scheduling log, populated only when `sched_log_on` (one branch per
+    /// dispatch/park on the disabled path).
+    sched_log: Vec<SchedEvent>,
+    sched_log_on: bool,
 }
 
 impl CpuModel {
@@ -129,7 +156,21 @@ impl CpuModel {
             ready: VecDeque::new(),
             core_ready: (0..n).map(|_| VecDeque::new()).collect(),
             stats: CpuStats::default(),
+            sched_log: Vec::new(),
+            sched_log_on: false,
         }
+    }
+
+    /// Turns the scheduling log on or off. Off (the default) costs one
+    /// branch per dispatch; on, every switch and park is appended for
+    /// [`CpuModel::drain_sched_log`] to consume.
+    pub fn record_sched(&mut self, on: bool) {
+        self.sched_log_on = on;
+    }
+
+    /// Drains the scheduling log accumulated since the last call.
+    pub fn drain_sched_log(&mut self) -> std::vec::Drain<'_, SchedEvent> {
+        self.sched_log.drain(..)
     }
 
     /// The machine configuration.
@@ -163,6 +204,11 @@ impl CpuModel {
     /// Number of threads spawned so far.
     pub fn thread_count(&self) -> usize {
         self.threads.len()
+    }
+
+    /// The name given to `tid` at spawn time.
+    pub fn thread_name(&self, tid: ThreadId) -> &str {
+        &self.threads[tid.0].name
     }
 
     /// Number of threads currently waiting in run queues.
@@ -298,6 +344,9 @@ impl CpuModel {
         if let ThreadState::Finishing(core) = self.threads[tid.0].state {
             self.threads[tid.0].state = ThreadState::Blocked;
             self.cores[core.0].current = None;
+            if self.sched_log_on {
+                self.sched_log.push(SchedEvent::Park { at: now, thread: tid });
+            }
             self.dispatch_core(now, core, out);
         }
     }
@@ -426,6 +475,13 @@ impl CpuModel {
             }
             self.stats.context_switches += 1;
             self.stats.switch_overhead += cost;
+            if self.sched_log_on {
+                self.sched_log.push(SchedEvent::Switch {
+                    at: now,
+                    thread: tid,
+                    migrated,
+                });
+            }
             now + cost
         } else {
             now
@@ -827,6 +883,42 @@ mod tests {
         // (plus the doubled migration cost).
         assert!(last.as_micros() < 200, "finished at {last}");
         assert!(d.cpu.stats().steals >= 1);
+    }
+
+    #[test]
+    fn sched_log_switch_count_equals_stats_counter() {
+        let mut d = Driver::new(CpuConfig::single_core());
+        d.cpu.record_sched(true);
+        let threads: Vec<_> = (0..6).map(|i| d.cpu.spawn_thread(format!("t{i}"))).collect();
+        for (i, &t) in threads.iter().enumerate() {
+            d.submit(t, Burst::user(us(10)), i as u64);
+        }
+        while d.next_completion().is_some() {}
+        let log: Vec<SchedEvent> = d.cpu.drain_sched_log().collect();
+        let switches = log
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::Switch { .. }))
+            .count() as u64;
+        let parks = log
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::Park { .. }))
+            .count() as u64;
+        assert_eq!(switches, d.cpu.stats().context_switches);
+        assert_eq!(parks, 6, "every thread parks after its burst");
+        assert!(d.cpu.drain_sched_log().next().is_none(), "drain empties");
+    }
+
+    #[test]
+    fn sched_log_off_records_nothing() {
+        let mut d = Driver::new(CpuConfig::single_core());
+        let a = d.cpu.spawn_thread("a");
+        let b = d.cpu.spawn_thread("b");
+        d.submit(a, Burst::user(us(10)), 0);
+        d.submit(b, Burst::user(us(10)), 1);
+        while d.next_completion().is_some() {}
+        assert!(d.cpu.stats().context_switches > 0);
+        assert!(d.cpu.drain_sched_log().next().is_none());
+        assert_eq!(d.cpu.thread_name(a), "a");
     }
 
     #[test]

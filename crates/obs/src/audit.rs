@@ -1,0 +1,180 @@
+//! Trace audit: recompute the paper's headline counters *from the
+//! structured trace* and check them against the engine's own summary.
+//!
+//! The paper's Tables I/II report context switches per second / per
+//! request, and Tables III/IV report `socket.write()` calls and write
+//! spins per request. The engine derives these from scheduler/TCP counter
+//! deltas over the measurement window; the trace records the same moments
+//! as discrete events. Equality of the two paths is the cross-check that
+//! turns the reproduced numbers into an internal invariant.
+
+use std::fmt;
+
+use asyncinv_metrics::RunSummary;
+
+use crate::event::TraceKind;
+use crate::observer::Recorder;
+
+/// One audited quantity: the value recomputed from the trace and the value
+/// the engine reported.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditCheck {
+    /// Which quantity (matches the `RunSummary` field name).
+    pub name: &'static str,
+    /// Value recomputed from trace events.
+    pub from_trace: f64,
+    /// Value from the engine's [`RunSummary`].
+    pub from_summary: f64,
+}
+
+impl AuditCheck {
+    /// Bitwise f64 equality: both paths perform the identical division, so
+    /// anything short of exact equality is a real divergence.
+    pub fn pass(&self) -> bool {
+        self.from_trace.to_bits() == self.from_summary.to_bits()
+    }
+}
+
+/// Result of auditing one run.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Server architecture label from the summary.
+    pub server: String,
+    /// Individual checks.
+    pub checks: Vec<AuditCheck>,
+}
+
+impl AuditReport {
+    /// `true` when every check passed.
+    pub fn pass(&self) -> bool {
+        self.checks.iter().all(AuditCheck::pass)
+    }
+
+    /// The checks that failed.
+    pub fn failures(&self) -> Vec<&AuditCheck> {
+        self.checks.iter().filter(|c| !c.pass()).collect()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {}",
+            self.server,
+            if self.pass() { "PASS" } else { "FAIL" }
+        )?;
+        for c in &self.checks {
+            writeln!(
+                f,
+                "  {:<16} trace={:<14} summary={:<14} {}",
+                c.name,
+                c.from_trace,
+                c.from_summary,
+                if c.pass() { "ok" } else { "MISMATCH" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Recomputes the context-switch and write-spin quantities from `rec`'s
+/// trace and compares them with `summary`.
+///
+/// The recorder must have observed the run that produced `summary` (the
+/// engines call [`crate::Observer::window_open`] at the same instant they
+/// snapshot their own counters, which is what makes exact equality
+/// attainable).
+pub fn audit(summary: &RunSummary, rec: &Recorder) -> AuditReport {
+    let completions = rec.completions_in_window();
+    // The identical division RunSummary performs.
+    let per_req = |v: u64| {
+        if completions == 0 {
+            0.0
+        } else {
+            v as f64 / completions as f64
+        }
+    };
+    let cs = rec.window_count(TraceKind::ThreadDispatch);
+    let writes = rec.window_count(TraceKind::WriteCall);
+    let spins = rec.window_count(TraceKind::WriteSpin);
+    let mut checks = vec![
+        AuditCheck {
+            name: "completions",
+            from_trace: completions as f64,
+            from_summary: summary.completions as f64,
+        },
+        AuditCheck {
+            name: "cs_per_req",
+            from_trace: per_req(cs),
+            from_summary: summary.cs_per_req,
+        },
+        AuditCheck {
+            name: "writes_per_req",
+            from_trace: per_req(writes),
+            from_summary: summary.writes_per_req,
+        },
+        AuditCheck {
+            name: "spins_per_req",
+            from_trace: per_req(spins),
+            from_summary: summary.spins_per_req,
+        },
+    ];
+    if let Some((start, end)) = rec.window() {
+        let measure_s = end.duration_since(start).as_secs_f64();
+        checks.push(AuditCheck {
+            name: "cs_per_sec",
+            from_trace: cs as f64 / measure_s,
+            from_summary: summary.cs_per_sec,
+        });
+    }
+    AuditReport {
+        server: summary.server.clone(),
+        checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::observer::Observer;
+    use asyncinv_simcore::{SimDuration, SimTime};
+
+    #[test]
+    fn matching_run_passes_and_divergence_fails() {
+        let start = SimTime::ZERO + SimDuration::from_secs(1);
+        let end = start + SimDuration::from_secs(2);
+        let mut rec = Recorder::new(16);
+        rec.run_window(start, end);
+        rec.window_open(start);
+        let t = start + SimDuration::from_millis(1);
+        for _ in 0..8 {
+            rec.record(TraceEvent::new(t, TraceKind::ThreadDispatch));
+        }
+        for _ in 0..2 {
+            rec.record(TraceEvent::new(t, TraceKind::Completion).conn(0));
+        }
+        rec.record(TraceEvent::new(t, TraceKind::WriteCall).conn(0));
+        let summary = RunSummary {
+            server: "test".into(),
+            completions: 2,
+            cs_per_req: 4.0,
+            writes_per_req: 0.5,
+            spins_per_req: 0.0,
+            cs_per_sec: 4.0,
+            ..RunSummary::default()
+        };
+        let report = audit(&summary, &rec);
+        assert!(report.pass(), "{report}");
+
+        let bad = RunSummary {
+            cs_per_req: 3.0,
+            ..summary
+        };
+        let report = audit(&bad, &rec);
+        assert!(!report.pass());
+        assert_eq!(report.failures().len(), 1);
+        assert_eq!(report.failures()[0].name, "cs_per_req");
+    }
+}

@@ -1,0 +1,169 @@
+//! The structured trace-event schema.
+
+use asyncinv_simcore::SimTime;
+
+/// What happened. Every variant maps to one interesting transition in the
+/// engine, the CPU scheduler, the TCP world, or a server architecture; the
+/// full schema (including the per-kind meaning of [`TraceEvent::arg`]) is
+/// documented in `docs/observability.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A request's bytes reached the server socket (engine).
+    RequestArrive,
+    /// A work item entered an internal server queue. `arg` is an
+    /// architecture-specific item code (see `asyncinv_servers::trace_codes`).
+    QueueEnter,
+    /// A work item left a queue and was assigned to a thread. `arg` carries
+    /// the same item code as the matching [`TraceKind::QueueEnter`].
+    QueueExit,
+    /// A core dispatched a thread different from the previous occupant —
+    /// the exact moment the scheduler's `context_switches` counter
+    /// increments. `arg` is 1 for a cross-core migration, else 0.
+    ThreadDispatch,
+    /// A thread blocked with no pending work (parked in the scheduler).
+    ThreadPark,
+    /// A non-blocking `socket.write()` call; `arg` is the bytes accepted.
+    WriteCall,
+    /// A zero-return `socket.write()` — one write-spin iteration.
+    WriteSpin,
+    /// ACKs freed send-buffer space; `arg` is the free space in bytes.
+    SendBufDrain,
+    /// The response's last byte reached the client; `arg` is the response
+    /// time in nanoseconds.
+    Completion,
+    /// Architecture-specific annotation; `arg` is a mark code (see
+    /// `asyncinv_servers::trace_codes`).
+    Mark,
+}
+
+impl TraceKind {
+    /// Number of kinds (for per-kind counter arrays).
+    pub const COUNT: usize = 10;
+
+    /// All kinds, in discriminant order.
+    pub const ALL: [TraceKind; TraceKind::COUNT] = [
+        TraceKind::RequestArrive,
+        TraceKind::QueueEnter,
+        TraceKind::QueueExit,
+        TraceKind::ThreadDispatch,
+        TraceKind::ThreadPark,
+        TraceKind::WriteCall,
+        TraceKind::WriteSpin,
+        TraceKind::SendBufDrain,
+        TraceKind::Completion,
+        TraceKind::Mark,
+    ];
+
+    /// Stable index for per-kind counter arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lowercase name used by both exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::RequestArrive => "request_arrive",
+            TraceKind::QueueEnter => "queue_enter",
+            TraceKind::QueueExit => "queue_exit",
+            TraceKind::ThreadDispatch => "thread_dispatch",
+            TraceKind::ThreadPark => "thread_park",
+            TraceKind::WriteCall => "write_call",
+            TraceKind::WriteSpin => "write_spin",
+            TraceKind::SendBufDrain => "send_buf_drain",
+            TraceKind::Completion => "completion",
+            TraceKind::Mark => "mark",
+        }
+    }
+}
+
+/// Sentinel for "no connection" / "no thread" / "no class".
+pub const NONE: u32 = u32::MAX;
+
+/// One structured trace event. Compact and `Copy` so the ring buffer is a
+/// flat allocation and recording is a couple of stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Connection id, or [`NONE`].
+    pub conn: u32,
+    /// Simulated thread id, or [`NONE`].
+    pub thread: u32,
+    /// Request class (workload-mix index), or [`NONE`].
+    pub class: u32,
+    /// Monotone request id (assigned per [`TraceKind::RequestArrive`] on
+    /// the event's connection), or 0 before the first arrival.
+    pub req: u64,
+    /// Kind-specific payload; see [`TraceKind`].
+    pub arg: u64,
+}
+
+impl TraceEvent {
+    /// An event with every optional field unset (the recorder fills `req`).
+    pub fn new(time: SimTime, kind: TraceKind) -> Self {
+        TraceEvent {
+            time,
+            kind,
+            conn: NONE,
+            thread: NONE,
+            class: NONE,
+            req: 0,
+            arg: 0,
+        }
+    }
+
+    /// Sets the connection id.
+    pub fn conn(mut self, conn: usize) -> Self {
+        self.conn = conn as u32;
+        self
+    }
+
+    /// Sets the thread id.
+    pub fn thread(mut self, thread: usize) -> Self {
+        self.thread = thread as u32;
+        self
+    }
+
+    /// Sets the request class.
+    pub fn class(mut self, class: usize) -> Self {
+        self.class = class as u32;
+        self
+    }
+
+    /// Sets the kind-specific payload.
+    pub fn arg(mut self, arg: u64) -> Self {
+        self.arg = arg;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indices_are_dense_and_stable() {
+        for (i, k) in TraceKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        let names: std::collections::HashSet<_> =
+            TraceKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), TraceKind::COUNT, "names must be unique");
+    }
+
+    #[test]
+    fn builder_fills_fields() {
+        let e = TraceEvent::new(SimTime::from_micros(3), TraceKind::QueueEnter)
+            .conn(7)
+            .thread(2)
+            .class(1)
+            .arg(9);
+        assert_eq!(e.conn, 7);
+        assert_eq!(e.thread, 2);
+        assert_eq!(e.class, 1);
+        assert_eq!(e.arg, 9);
+        assert_eq!(e.req, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Trace exporters: Chrome trace-event JSON (Perfetto / `about:tracing`)
+//! and JSON Lines.
+
+use serde::Value;
+
+use crate::event::{TraceEvent, NONE};
+use crate::observer::Recorder;
+
+/// Synthetic Chrome-trace `tid` for events with no simulated thread
+/// (engine-level events such as arrivals and completions).
+pub const ENGINE_TRACK: u64 = 0;
+
+/// Chrome-trace pid used for all tracks (one simulated process).
+pub const TRACE_PID: u64 = 1;
+
+fn chrome_tid(ev: &TraceEvent) -> u64 {
+    if ev.thread == NONE {
+        ENGINE_TRACK
+    } else {
+        ev.thread as u64 + 1
+    }
+}
+
+/// Renders the recorder's trace as Chrome trace-event JSON.
+///
+/// Layout: one metadata (`"ph":"M"`) `thread_name` record per simulated
+/// thread — so Perfetto shows one track per thread — plus one instant
+/// (`"ph":"i"`) event per retained trace event, with the structured fields
+/// in `args`. Timestamps are microseconds of virtual time.
+pub fn chrome_trace_json(rec: &Recorder) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(rec.ring().len() + rec.thread_names().len() + 1);
+    let meta = |tid: u64, name: &str| {
+        Value::Map(vec![
+            ("name".into(), Value::Str("thread_name".into())),
+            ("ph".into(), Value::Str("M".into())),
+            ("pid".into(), Value::UInt(TRACE_PID)),
+            ("tid".into(), Value::UInt(tid)),
+            (
+                "args".into(),
+                Value::Map(vec![("name".into(), Value::Str(name.into()))]),
+            ),
+        ])
+    };
+    events.push(meta(ENGINE_TRACK, "engine"));
+    for (i, name) in rec.thread_names().iter().enumerate() {
+        let label = if name.is_empty() {
+            format!("thread-{i}")
+        } else {
+            name.clone()
+        };
+        events.push(meta(i as u64 + 1, &label));
+    }
+    for ev in rec.events() {
+        let mut args: Vec<(String, Value)> = Vec::with_capacity(4);
+        if ev.conn != NONE {
+            args.push(("conn".into(), Value::UInt(ev.conn as u64)));
+        }
+        if ev.class != NONE {
+            args.push(("class".into(), Value::UInt(ev.class as u64)));
+        }
+        if ev.req != 0 {
+            args.push(("req".into(), Value::UInt(ev.req)));
+        }
+        args.push(("arg".into(), Value::UInt(ev.arg)));
+        events.push(Value::Map(vec![
+            ("name".into(), Value::Str(ev.kind.name().into())),
+            ("ph".into(), Value::Str("i".into())),
+            ("s".into(), Value::Str("t".into())),
+            ("pid".into(), Value::UInt(TRACE_PID)),
+            ("tid".into(), Value::UInt(chrome_tid(ev))),
+            (
+                "ts".into(),
+                Value::Float(ev.time.as_nanos() as f64 / 1000.0),
+            ),
+            ("args".into(), Value::Map(args)),
+        ]));
+    }
+    let root = Value::Map(vec![
+        ("traceEvents".into(), Value::Seq(events)),
+        ("displayTimeUnit".into(), Value::Str("ns".into())),
+    ]);
+    serde_json::to_string(&root).expect("chrome trace serializes")
+}
+
+/// Renders the recorder's trace as JSON Lines: one compact object per
+/// event, fields `t_ns`, `kind`, and (when present) `conn`, `thread`,
+/// `class`, `req`, `arg`.
+pub fn jsonl(rec: &Recorder) -> String {
+    let mut out = String::new();
+    for ev in rec.events() {
+        let mut m: Vec<(String, Value)> = vec![
+            ("t_ns".into(), Value::UInt(ev.time.as_nanos())),
+            ("kind".into(), Value::Str(ev.kind.name().into())),
+        ];
+        if ev.conn != NONE {
+            m.push(("conn".into(), Value::UInt(ev.conn as u64)));
+        }
+        if ev.thread != NONE {
+            m.push(("thread".into(), Value::UInt(ev.thread as u64)));
+        }
+        if ev.class != NONE {
+            m.push(("class".into(), Value::UInt(ev.class as u64)));
+        }
+        if ev.req != 0 {
+            m.push(("req".into(), Value::UInt(ev.req)));
+        }
+        m.push(("arg".into(), Value::UInt(ev.arg)));
+        out.push_str(&serde_json::to_string(&Value::Map(m)).expect("event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Validates a Chrome-trace JSON document against the schema this crate
+/// exports: a `traceEvents` array, non-empty, where every entry has
+/// `name`/`ph`/`pid`/`tid` and instants carry a numeric `ts`. Returns the
+/// number of instant events, or a description of the first problem.
+///
+/// `scripts/smoke.sh` runs this (via `trace_audit --validate`) against a
+/// freshly exported trace, so accidental schema drift fails CI.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let root: Value =
+        serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_seq()
+        .ok_or("traceEvents is not an array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    let mut instants = 0usize;
+    let mut named_tracks = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = match ev.get("ph") {
+            Some(Value::Str(s)) => s.as_str(),
+            _ => return Err(format!("event {i}: missing ph")),
+        };
+        if ev.get("name").is_none() {
+            return Err(format!("event {i}: missing name"));
+        }
+        if ev.get("pid").is_none() || ev.get("tid").is_none() {
+            return Err(format!("event {i}: missing pid/tid"));
+        }
+        match ph {
+            "M" => named_tracks += 1,
+            "i" => {
+                match ev.get("ts") {
+                    Some(Value::Float(_)) | Some(Value::UInt(_)) | Some(Value::Int(_)) => {}
+                    _ => return Err(format!("event {i}: instant without numeric ts")),
+                }
+                instants += 1;
+            }
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    if named_tracks == 0 {
+        return Err("no thread_name metadata records".into());
+    }
+    if instants == 0 {
+        return Err("no instant events".into());
+    }
+    Ok(instants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{TraceEvent, TraceKind};
+    use crate::observer::Observer;
+    use asyncinv_simcore::SimTime;
+
+    fn sample_recorder() -> Recorder {
+        let mut r = Recorder::new(64);
+        r.thread_name(0, "reactor");
+        r.thread_name(1, "worker-0");
+        r.record(
+            TraceEvent::new(SimTime::from_micros(1), TraceKind::RequestArrive).conn(0).class(0),
+        );
+        r.record(
+            TraceEvent::new(SimTime::from_micros(2), TraceKind::QueueExit)
+                .conn(0)
+                .thread(1)
+                .arg(0),
+        );
+        r.record(
+            TraceEvent::new(SimTime::from_micros(9), TraceKind::Completion)
+                .conn(0)
+                .arg(8_000),
+        );
+        r
+    }
+
+    #[test]
+    fn chrome_trace_passes_own_validator() {
+        let json = sample_recorder().chrome_trace_json();
+        let instants = validate_chrome_trace(&json).expect("valid");
+        assert_eq!(instants, 3);
+    }
+
+    #[test]
+    fn chrome_trace_has_one_track_per_thread() {
+        let json = sample_recorder().chrome_trace_json();
+        let root: Value = serde_json::from_str(&json).unwrap();
+        let events = root.get("traceEvents").unwrap().as_seq().unwrap();
+        let tracks: Vec<(u64, String)> = events
+            .iter()
+            .filter(|e| matches!(e.get("ph"), Some(Value::Str(s)) if s == "M"))
+            .map(|e| {
+                let tid = match e.get("tid") {
+                    Some(Value::UInt(t)) => *t,
+                    _ => panic!("metadata without tid"),
+                };
+                let name = match e.get("args").and_then(|a| a.get("name")) {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => panic!("metadata without name"),
+                };
+                (tid, name)
+            })
+            .collect();
+        assert_eq!(
+            tracks,
+            [
+                (0, "engine".to_string()),
+                (1, "reactor".to_string()),
+                (2, "worker-0".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let text = sample_recorder().jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            let v: Value = serde_json::from_str(l).expect("valid line");
+            assert!(v.get("kind").is_some());
+            assert!(v.get("t_ns").is_some());
+        }
+    }
+
+    #[test]
+    fn validator_rejects_drift() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents": []}"#).is_err());
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents": [{"ph":"i","name":"x"}]}"#).is_err(),
+            "missing pid/tid must fail"
+        );
+    }
+}

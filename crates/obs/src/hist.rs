@@ -1,0 +1,192 @@
+//! An HDR-style log-bucketed histogram over raw `u64` values.
+//!
+//! Same bucketing scheme as `asyncinv_metrics::Histogram` (powers of two
+//! split into 32 linear sub-buckets) but over unitless values, so the
+//! registry can histogram queue depths and byte counts as well as latency.
+
+/// Linear sub-buckets per power-of-two bucket (≈3% worst-case error).
+const SUBBUCKETS: u64 = 32;
+
+/// A log-linear histogram of `u64` samples with constant memory.
+#[derive(Debug, Clone, Default)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = Self::index_of(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` (bucket upper bound, ≤~3% relative error;
+    /// exact for values below 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn index_of(v: u64) -> usize {
+        if v < SUBBUCKETS {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros() as u64;
+        let shift = msb - SUBBUCKETS.trailing_zeros() as u64;
+        let sub = (v >> shift) - SUBBUCKETS;
+        (shift * SUBBUCKETS + SUBBUCKETS + sub) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn upper_bound(i: usize) -> u64 {
+        let i = i as u64;
+        if i < SUBBUCKETS {
+            return i;
+        }
+        let shift = (i - SUBBUCKETS) / SUBBUCKETS;
+        let sub = (i - SUBBUCKETS) % SUBBUCKETS;
+        ((SUBBUCKETS + sub + 1) << shift) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..32 {
+            h.record(v);
+        }
+        for q in [0.25f64, 0.5, 0.75, 1.0] {
+            let want = ((q * 32.0).ceil() as u64).clamp(1, 32) - 1;
+            assert_eq!(h.quantile(q), want, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentiles_within_relative_error_bound() {
+        let mut h = LogHistogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i);
+        }
+        for (q, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900), (0.999, 9_990)] {
+            let got = h.quantile(q);
+            assert!(got >= exact, "q={q}: got {got} < exact {exact}");
+            let err = (got - exact) as f64 / exact as f64;
+            assert!(err <= 0.04, "q={q}: got {got}, error {err:.3}");
+        }
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let mut h = LogHistogram::new();
+        for v in [3, 100, 1_000_000, 123_456_789_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0), 123_456_789_000 );
+        assert!(h.quantile(0.5) <= h.max());
+        assert_eq!(h.min(), 3);
+    }
+
+    #[test]
+    fn mean_is_exact_and_empty_is_zero() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        h.record(100);
+        h.record(300);
+        assert_eq!(h.mean(), 200.0);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn heavily_skewed_distribution() {
+        // 999 small samples and one huge outlier: p99 stays small, p100
+        // catches the outlier.
+        let mut h = LogHistogram::new();
+        for _ in 0..999 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.quantile(0.99), 10);
+        assert_eq!(h.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_quantile_panics() {
+        LogHistogram::new().quantile(-0.1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Bounded ring buffer of [`TraceEvent`]s with a sampling knob.
+
+use crate::event::TraceEvent;
+
+/// A bounded ring of trace events.
+///
+/// When full, the oldest events are discarded (`dropped` counts them).
+/// A sampling knob keeps every `n`-th offered event; counting happens
+/// *before* sampling, so aggregate per-kind counters derived from offered
+/// events stay exact regardless of what the ring retains.
+///
+/// ```
+/// use asyncinv_obs::{TraceEvent, TraceKind, TraceRing};
+/// use asyncinv_simcore::SimTime;
+/// let mut ring = TraceRing::new(2);
+/// for i in 0..3 {
+///     ring.push(TraceEvent::new(SimTime::from_nanos(i), TraceKind::Mark));
+/// }
+/// assert_eq!(ring.len(), 2);
+/// assert_eq!(ring.dropped(), 1);
+/// assert_eq!(ring.iter().next().unwrap().time.as_nanos(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest retained event within `buf`.
+    head: usize,
+    capacity: usize,
+    sample_every: u64,
+    /// Events offered (before sampling).
+    offered: u64,
+    /// Sampled-in events evicted by capacity.
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring retaining the last `capacity` sampled events (capacity 0
+    /// retains nothing).
+    pub fn new(capacity: usize) -> Self {
+        TraceRing::with_sampling(capacity, 1)
+    }
+
+    /// A ring keeping every `sample_every`-th offered event (0 and 1 both
+    /// mean "keep all").
+    pub fn with_sampling(capacity: usize, sample_every: u64) -> Self {
+        TraceRing {
+            buf: Vec::with_capacity(capacity.min(1 << 16)),
+            head: 0,
+            capacity,
+            sample_every: sample_every.max(1),
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Offers an event; it is retained if it passes the sampling filter and
+    /// the ring has capacity (evicting the oldest otherwise).
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.offered += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.sample_every > 1 && self.offered % self.sample_every != 1 % self.sample_every {
+            return;
+        }
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events offered so far (before sampling).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Sampled-in events lost to capacity eviction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The sampling divisor (1 = keep all).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceKind;
+    use asyncinv_simcore::SimTime;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::new(SimTime::from_nanos(i), TraceKind::Mark).arg(i)
+    }
+
+    #[test]
+    fn wraps_and_keeps_newest() {
+        let mut r = TraceRing::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.offered(), 10);
+        let args: Vec<u64> = r.iter().map(|e| e.arg).collect();
+        assert_eq!(args, [6, 7, 8, 9], "oldest-first iteration after wrap");
+    }
+
+    #[test]
+    fn wrap_point_iteration_is_ordered_at_every_fill_level() {
+        for n in 0..20 {
+            let mut r = TraceRing::new(7);
+            for i in 0..n {
+                r.push(ev(i));
+            }
+            let args: Vec<u64> = r.iter().map(|e| e.arg).collect();
+            let lo = n.saturating_sub(7);
+            let expect: Vec<u64> = (lo..n).collect();
+            assert_eq!(args, expect, "fill level {n}");
+        }
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth() {
+        let mut r = TraceRing::with_sampling(100, 3);
+        for i in 0..9 {
+            r.push(ev(i));
+        }
+        // Offers 1,4,7 pass (1-indexed): args 0, 3, 6.
+        let args: Vec<u64> = r.iter().map(|e| e.arg).collect();
+        assert_eq!(args, [0, 3, 6]);
+        assert_eq!(r.offered(), 9, "offered counts before sampling");
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_retains_nothing() {
+        let mut r = TraceRing::new(0);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert!(r.is_empty());
+        assert_eq!(r.offered(), 5);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn sample_zero_and_one_keep_all() {
+        for s in [0, 1] {
+            let mut r = TraceRing::with_sampling(10, s);
+            for i in 0..5 {
+                r.push(ev(i));
+            }
+            assert_eq!(r.len(), 5, "sample_every={s}");
+        }
+    }
+}

@@ -24,10 +24,12 @@
 use std::collections::VecDeque;
 
 use asyncinv_cpu::{Burst, ThreadId};
+use asyncinv_obs::TraceKind;
 use asyncinv_tcp::ConnId;
 
 use crate::arch::{tag, untag, ServerModel};
 use crate::engine::Ctx;
+use crate::trace_codes::{Q_DONE, Q_READ, Q_REGISTER, Q_WRITE};
 
 const P_R_WAKE: u8 = 0;
 const P_R_DISPATCH: u8 = 1;
@@ -113,6 +115,15 @@ impl AsyncPool {
 
     /// Queues an event at the reactor, waking it if parked in the selector.
     fn post(&mut self, ctx: &mut Ctx<'_>, ev: REvent) {
+        if ctx.trace_enabled() {
+            let (code, conn) = match ev {
+                REvent::Readable(c) => (Q_READ, Some(c)),
+                REvent::WriteRequest(c) => (Q_WRITE, Some(c)),
+                REvent::Done => (Q_DONE, None),
+                REvent::RegisterRead => (Q_REGISTER, None),
+            };
+            ctx.emit(TraceKind::QueueEnter, conn, None, code);
+        }
         self.revents.push_back(ev);
         if !self.reactor_busy {
             self.reactor_busy = true;
@@ -176,9 +187,8 @@ impl AsyncPool {
     fn begin_task(&mut self, ctx: &mut Ctx<'_>, w: usize, task: Task) {
         match task {
             Task::Read(conn) => {
-                if ctx.trace_enabled() {
-                    ctx.trace(format!("step1 dispatch-read conn={} -> worker {w}", conn.0));
-                }
+                // Fig 3 step 1: reactor dispatches the read event.
+                ctx.emit(TraceKind::QueueExit, Some(conn), Some(self.workers[w]), Q_READ);
                 self.jobs[w] = Some(Job {
                     conn,
                     remaining: 0,
@@ -191,9 +201,8 @@ impl AsyncPool {
                 );
             }
             Task::Write(conn) => {
-                if ctx.trace_enabled() {
-                    ctx.trace(format!("step3 dispatch-write conn={} -> worker {w}", conn.0));
-                }
+                // Fig 3 step 3: reactor dispatches the write event.
+                ctx.emit(TraceKind::QueueExit, Some(conn), Some(self.workers[w]), Q_WRITE);
                 self.jobs[w] = Some(Job {
                     conn,
                     remaining: ctx.response_bytes(conn),
@@ -282,10 +291,7 @@ impl ServerModel for AsyncPool {
                     job.remaining = ctx.response_bytes(conn);
                     self.spin_iteration(ctx, w);
                 } else {
-                    // Step 2: generate a write event for the reactor.
-                    if ctx.trace_enabled() {
-                        ctx.trace(format!("step2 write-event conn={} from worker {w}", conn.0));
-                    }
+                    // Fig 3 step 2: generate a write event for the reactor.
                     self.post(ctx, REvent::WriteRequest(conn));
                     self.worker_next(ctx, w);
                 }
@@ -303,10 +309,7 @@ impl ServerModel for AsyncPool {
             P_SPIN_SYS => {
                 let job = self.jobs[w].expect("spin completion without job");
                 if job.remaining == 0 {
-                    // Step 4: return control to the reactor.
-                    if ctx.trace_enabled() {
-                        ctx.trace(format!("step4 done conn={} from worker {w}", job.conn.0));
-                    }
+                    // Fig 3 step 4: return control to the reactor.
                     self.post(ctx, REvent::Done);
                     if self.real_nio {
                         // Keep-alive: read interest goes back through the

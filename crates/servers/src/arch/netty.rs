@@ -23,10 +23,15 @@
 use std::collections::VecDeque;
 
 use asyncinv_cpu::{Burst, ThreadId};
+use asyncinv_obs::TraceKind;
 use asyncinv_tcp::ConnId;
 
 use crate::arch::{tag, untag, ServerModel};
 use crate::engine::Ctx;
+use crate::trace_codes::{
+    MARK_PARK_WRITABLE, MARK_PATH_FAST, MARK_PATH_NETTY, MARK_RECLASS_HEAVY, MARK_SPIN_BUDGET,
+    Q_FLUSH, Q_READ, Q_WRITE,
+};
 
 const P_WAKE: u8 = 0;
 const P_READ: u8 = 1;
@@ -117,6 +122,14 @@ impl NettyLike {
     }
 
     fn enqueue(&mut self, ctx: &mut Ctx<'_>, w: usize, ev: NEvent) {
+        if ctx.trace_enabled() {
+            let (code, conn) = match ev {
+                NEvent::Readable(c) => (Q_READ, c),
+                NEvent::Writable(c) => (Q_WRITE, c),
+                NEvent::Resume(c) => (Q_FLUSH, c),
+            };
+            ctx.emit(TraceKind::QueueEnter, Some(conn), Some(self.workers[w]), code);
+        }
         self.queues[w].push_back(ev);
         if !self.busy[w] {
             self.busy[w] = true;
@@ -133,6 +146,14 @@ impl NettyLike {
             self.busy[w] = false;
             return;
         };
+        if ctx.trace_enabled() {
+            let (code, conn) = match ev {
+                NEvent::Readable(c) => (Q_READ, c),
+                NEvent::Writable(c) => (Q_WRITE, c),
+                NEvent::Resume(c) => (Q_FLUSH, c),
+            };
+            ctx.emit(TraceKind::QueueExit, Some(conn), Some(self.workers[w]), code);
+        }
         match ev {
             NEvent::Readable(conn) => {
                 ctx.submit(
@@ -249,10 +270,8 @@ impl ServerModel for NettyLike {
                 } else {
                     self.netty_requests += 1;
                 }
-                if ctx.trace_enabled() {
-                    let path = if fast { "fast" } else { "netty" };
-                    ctx.trace(format!("request conn={c} class={class} path={path}"));
-                }
+                let mark = if fast { MARK_PATH_FAST } else { MARK_PATH_NETTY };
+                ctx.emit(TraceKind::Mark, Some(conn), Some(self.workers[w]), mark);
                 let p = ctx.profile();
                 let mut cost = p.parse_cost + p.compute(ctx.response_bytes(conn));
                 if !fast {
@@ -302,21 +321,15 @@ impl ServerModel for NettyLike {
                     if job.fast {
                         job.fast = false;
                         self.learn(job.class, true);
-                        if ctx.trace_enabled() {
-                            ctx.trace(format!("reclassify class={} -> heavy", job.class));
-                        }
+                        ctx.emit(TraceKind::Mark, Some(conn), None, MARK_RECLASS_HEAVY);
                     }
-                    if ctx.trace_enabled() {
-                        ctx.trace(format!("park conn={c} awaiting writable"));
-                    }
+                    ctx.emit(TraceKind::Mark, Some(conn), None, MARK_PARK_WRITABLE);
                     self.wstate[c] = WState::ParkedWritable(job);
                     self.next_event(ctx, w);
                 } else if !job.fast && job.spins + 1 >= self.spin_limit {
                     // writeSpin budget exhausted: yield to other events via
                     // a self-scheduled flush task.
-                    if ctx.trace_enabled() {
-                        ctx.trace(format!("spin-budget conn={c}: requeue flush task"));
-                    }
+                    ctx.emit(TraceKind::Mark, Some(conn), None, MARK_SPIN_BUDGET);
                     self.wstate[c] = WState::QueuedResume(job);
                     self.enqueue(ctx, w, NEvent::Resume(conn));
                     self.next_event(ctx, w);

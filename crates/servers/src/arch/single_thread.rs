@@ -12,10 +12,12 @@
 use std::collections::VecDeque;
 
 use asyncinv_cpu::{Burst, ThreadId};
+use asyncinv_obs::TraceKind;
 use asyncinv_tcp::ConnId;
 
 use crate::arch::{tag, untag, ServerModel};
 use crate::engine::Ctx;
+use crate::trace_codes::Q_READ;
 
 const P_WAKE: u8 = 0;
 const P_READ: u8 = 1;
@@ -56,6 +58,7 @@ impl SingleThread {
     /// Starts handling the next ready event, or parks the loop.
     fn next_event(&mut self, ctx: &mut Ctx<'_>) {
         if let Some(conn) = self.queue.pop_front() {
+            ctx.emit(TraceKind::QueueExit, Some(conn), Some(self.thread()), Q_READ);
             // Part of the same ready batch: no extra epoll_wait charged.
             ctx.submit(
                 self.thread(),
@@ -90,6 +93,7 @@ impl ServerModel for SingleThread {
     }
 
     fn on_request(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        ctx.emit(TraceKind::QueueEnter, Some(conn), None, Q_READ);
         self.queue.push_back(conn);
         if !self.busy {
             self.busy = true;

@@ -20,10 +20,12 @@
 use std::collections::VecDeque;
 
 use asyncinv_cpu::{Burst, ThreadId};
+use asyncinv_obs::TraceKind;
 use asyncinv_tcp::ConnId;
 
 use crate::arch::{tag, untag, ServerModel};
 use crate::engine::Ctx;
+use crate::trace_codes::Q_STAGE_BASE;
 
 const P_READ: u8 = 0;
 const P_PROCESS: u8 = 1;
@@ -72,6 +74,7 @@ impl Staged {
 
     /// Enqueues `conn` at `stage`, dispatching an idle stage worker if any.
     fn enqueue(&mut self, ctx: &mut Ctx<'_>, stage: usize, conn: ConnId) {
+        ctx.emit(TraceKind::QueueEnter, Some(conn), None, Q_STAGE_BASE + stage as u64);
         self.stages[stage].queue.push_back(conn);
         if let Some(w) = self.stages[stage].idle.pop_front() {
             self.begin(ctx, stage, w);
@@ -86,6 +89,7 @@ impl Staged {
             return;
         };
         let tid = self.stages[stage].threads[w];
+        ctx.emit(TraceKind::QueueExit, Some(conn), Some(tid), Q_STAGE_BASE + stage as u64);
         let p = ctx.profile();
         match stage {
             READ => ctx.submit(

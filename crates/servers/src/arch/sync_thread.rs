@@ -10,10 +10,12 @@
 //! context-switch costs at high thread counts (the paper's Fig 2).
 
 use asyncinv_cpu::{Burst, ThreadId};
+use asyncinv_obs::TraceKind;
 use asyncinv_tcp::ConnId;
 
 use crate::arch::{tag, untag, ServerModel};
 use crate::engine::Ctx;
+use crate::trace_codes::Q_READ;
 
 const P_READ: u8 = 0;
 const P_COMPUTE: u8 = 1;
@@ -91,6 +93,7 @@ impl ServerModel for SyncThread {
         if self.phase[conn.0] != Phase::Idle {
             // The worker is still finishing the previous blocking write;
             // the request waits in the receive buffer.
+            ctx.emit(TraceKind::QueueEnter, Some(conn), Some(self.threads[conn.0]), Q_READ);
             self.pending[conn.0] = true;
             return;
         }
@@ -155,6 +158,7 @@ impl ServerModel for SyncThread {
                     // Blocking write returned; thread loops back to read().
                     self.phase[c] = Phase::Idle;
                     if std::mem::take(&mut self.pending[c]) {
+                        ctx.emit(TraceKind::QueueExit, Some(conn), Some(self.threads[c]), Q_READ);
                         self.begin_read(ctx, conn);
                     }
                 } else {

@@ -1,11 +1,12 @@
 //! The experiment engine: wires clients, TCP, CPU and a server model
 //! together and measures a run.
 
-use asyncinv_cpu::{Burst, CpuConfig, CpuEvent, CpuModel, ThreadId};
+use asyncinv_cpu::{Burst, CpuConfig, CpuEvent, CpuModel, SchedEvent, ThreadId};
 use asyncinv_metrics::{ClassSummary, CpuShare, Histogram, RunSummary, ThroughputWindow};
+use asyncinv_obs::{NoopObserver, Observer, Recorder, TraceEvent, TraceKind};
 use asyncinv_simcore::{
     AdaptiveQueue, BackendKind, CalendarQueue, EventQueue, QueueBackend, SimDuration, SimTime,
-    Simulation, TraceBuffer,
+    Simulation,
 };
 use asyncinv_tcp::{ConnId, TcpConfig, TcpEvent, TcpNotice, TcpWorld};
 use asyncinv_workload::{ClientConfig, ClientEvent, ClientPool, Mix, ThinkTime, UserId};
@@ -44,9 +45,14 @@ pub struct ExperimentConfig {
     /// the simplified servers), on in the RUBBoS macro engine (which
     /// upgrades the *real* Tomcat).
     pub tomcat_real_nio: bool,
-    /// Capacity of the event-flow trace ring buffer (0 disables tracing).
-    /// Use [`Experiment::run_traced`] to retrieve the trace.
+    /// Capacity of the structured trace ring buffer used by
+    /// [`Experiment::run_traced`] (how many [`TraceEvent`]s the returned
+    /// [`Recorder`] retains; aggregate counts stay exact regardless).
     pub trace_capacity: usize,
+    /// Trace sampling divisor: the ring retains every n-th event (0 and 1
+    /// both mean "keep all"). Counts are taken before sampling.
+    #[serde(default)]
+    pub trace_sample: u64,
     /// Simulation queue backend. All backends produce identical results
     /// (the ordering contract is property-tested); this only trades
     /// wall-clock speed. Defaults to [`BackendKind::Adaptive`].
@@ -85,6 +91,7 @@ impl ExperimentConfig {
             write_spin_limit: 16,
             tomcat_real_nio: false,
             trace_capacity: 0,
+            trace_sample: 0,
             backend: BackendKind::default(),
         }
     }
@@ -126,7 +133,6 @@ pub(crate) struct ConnInfo {
 /// A fresh `Ctx` is constructed for every callback; follow-up events the
 /// substrates produce are flushed to the simulation queue by the engine
 /// after the callback returns.
-#[derive(Debug)]
 pub struct Ctx<'a> {
     pub(crate) now: SimTime,
     pub(crate) cpu: &'a mut CpuModel,
@@ -135,7 +141,18 @@ pub struct Ctx<'a> {
     pub(crate) conn_info: &'a [ConnInfo],
     pub(crate) cpu_out: &'a mut Vec<(SimTime, CpuEvent)>,
     pub(crate) tcp_out: &'a mut Vec<(SimTime, TcpEvent)>,
-    pub(crate) trace: &'a mut TraceBuffer,
+    pub(crate) obs: &'a mut dyn Observer,
+    /// Cached `obs.is_enabled()` so the disabled path is one local branch.
+    pub(crate) obs_on: bool,
+}
+
+impl std::fmt::Debug for Ctx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("now", &self.now)
+            .field("obs_on", &self.obs_on)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Ctx<'_> {
@@ -162,7 +179,26 @@ impl Ctx<'_> {
 
     /// Non-blocking `socket.write()` on `conn` (counted, may return 0).
     pub fn write(&mut self, conn: ConnId, len: usize) -> usize {
-        self.tcp.write(self.now, conn, len, self.tcp_out)
+        let written = self.tcp.write(self.now, conn, len, self.tcp_out);
+        if self.obs_on {
+            // Mirror TcpWorld's write_calls / zero_writes counters exactly:
+            // one WriteCall per syscall, one WriteSpin per zero-byte return.
+            let class = self.conn_info[conn.0].class;
+            self.obs.record(
+                TraceEvent::new(self.now, TraceKind::WriteCall)
+                    .conn(conn.0)
+                    .class(class)
+                    .arg(written as u64),
+            );
+            if written == 0 {
+                self.obs.record(
+                    TraceEvent::new(self.now, TraceKind::WriteSpin)
+                        .conn(conn.0)
+                        .class(class),
+                );
+            }
+        }
+        written
     }
 
     /// Blocking-write kernel continuation (not counted as a syscall).
@@ -185,15 +221,35 @@ impl Ctx<'_> {
         self.conn_info[conn.0].class
     }
 
-    /// `true` when event-flow tracing is enabled; guard trace formatting
-    /// with this to keep disabled runs free.
+    /// `true` when structured tracing is enabled; server models guard
+    /// their [`Ctx::emit`] call sites with this to keep disabled runs free.
     pub fn trace_enabled(&self) -> bool {
-        self.trace.is_enabled()
+        self.obs_on
     }
 
-    /// Records an event-flow trace entry (no-op when tracing is disabled).
-    pub fn trace(&mut self, message: String) {
-        self.trace.record(self.now, "server", message);
+    /// Emits a structured trace event (no-op when observability is off).
+    ///
+    /// When `conn` is given the request class is stamped automatically from
+    /// the pending request's parsed info; the [`Recorder`] additionally
+    /// stamps a request id derived from the arrival stream.
+    pub fn emit(
+        &mut self,
+        kind: TraceKind,
+        conn: Option<ConnId>,
+        thread: Option<ThreadId>,
+        arg: u64,
+    ) {
+        if !self.obs_on {
+            return;
+        }
+        let mut ev = TraceEvent::new(self.now, kind).arg(arg);
+        if let Some(c) = conn {
+            ev = ev.conn(c.0).class(self.conn_info[c.0].class);
+        }
+        if let Some(t) = thread {
+            ev = ev.thread(t.0);
+        }
+        self.obs.record(ev);
     }
 }
 
@@ -240,36 +296,49 @@ impl Experiment {
     /// counters (e.g. hybrid reclassifications).
     pub fn run_detailed(&self, kind: ServerKind) -> (RunSummary, Vec<(&'static str, u64)>) {
         let mut server = kind.build(&self.cfg);
-        let (summary, _) = self.drive(server.as_mut());
+        let mut obs = NoopObserver;
+        let summary = self.drive(server.as_mut(), &mut obs);
         let counters = server.debug_counters();
         (summary, counters)
     }
 
-    /// Runs with event-flow tracing and returns the retained trace (set
-    /// [`ExperimentConfig::trace_capacity`] > 0 or nothing is recorded).
-    pub fn run_traced(&self, kind: ServerKind) -> (RunSummary, TraceBuffer) {
+    /// Runs with structured tracing and returns the [`Recorder`] holding the
+    /// retained trace ring, per-kind counts and the metrics registry. Set
+    /// [`ExperimentConfig::trace_capacity`] > 0 or the ring retains nothing
+    /// (counts stay exact regardless).
+    pub fn run_traced(&self, kind: ServerKind) -> (RunSummary, Recorder) {
+        let mut rec = Recorder::with_sampling(self.cfg.trace_capacity, self.cfg.trace_sample);
+        let summary = self.run_observed(kind, &mut rec);
+        (summary, rec)
+    }
+
+    /// Runs the given architecture reporting into a caller-supplied
+    /// [`Observer`].
+    pub fn run_observed(&self, kind: ServerKind, obs: &mut dyn Observer) -> RunSummary {
         let mut server = kind.build(&self.cfg);
-        self.drive(server.as_mut())
+        self.drive(server.as_mut(), obs)
     }
 
     /// Runs a caller-supplied custom architecture.
     pub fn run_model(&self, server: &mut dyn ServerModel) -> RunSummary {
-        self.drive(server).0
+        let mut obs = NoopObserver;
+        self.drive(server, &mut obs)
     }
 
     /// Monomorphizes the drive loop for the configured queue backend.
-    fn drive(&self, server: &mut dyn ServerModel) -> (RunSummary, TraceBuffer) {
+    fn drive(&self, server: &mut dyn ServerModel, obs: &mut dyn Observer) -> RunSummary {
         match self.cfg.backend {
-            BackendKind::Heap => self.drive_with::<EventQueue<EngineEvent>>(server),
-            BackendKind::Calendar => self.drive_with::<CalendarQueue<EngineEvent>>(server),
-            BackendKind::Adaptive => self.drive_with::<AdaptiveQueue<EngineEvent>>(server),
+            BackendKind::Heap => self.drive_with::<EventQueue<EngineEvent>>(server, obs),
+            BackendKind::Calendar => self.drive_with::<CalendarQueue<EngineEvent>>(server, obs),
+            BackendKind::Adaptive => self.drive_with::<AdaptiveQueue<EngineEvent>>(server, obs),
         }
     }
 
     fn drive_with<Q: QueueBackend<EngineEvent>>(
         &self,
         server: &mut dyn ServerModel,
-    ) -> (RunSummary, TraceBuffer) {
+        obs: &mut dyn Observer,
+    ) -> RunSummary {
         let cfg = &self.cfg;
         let n = cfg.clients.concurrency;
         let warm_end = SimTime::ZERO + cfg.warmup;
@@ -293,9 +362,14 @@ impl Experiment {
         let one_way = cfg.tcp.one_way();
         let mut window = ThroughputWindow::new(warm_end, end);
         let mut hist = Histogram::new();
-        let mut trace = TraceBuffer::with_capacity(cfg.trace_capacity);
         let n_classes = cfg.clients.mix.classes().len();
         let mut class_hist: Vec<Histogram> = (0..n_classes).map(|_| Histogram::new()).collect();
+
+        let obs_on = obs.is_enabled();
+        if obs_on {
+            obs.run_window(warm_end, end);
+            cpu.record_sched(true);
+        }
 
         macro_rules! ctx {
             ($now:expr) => {
@@ -307,12 +381,30 @@ impl Experiment {
                     conn_info: &conn_info,
                     cpu_out: &mut cpu_out,
                     tcp_out: &mut tcp_out,
-                    trace: &mut trace,
+                    obs: &mut *obs,
+                    obs_on,
                 }
             };
         }
         macro_rules! flush {
             () => {
+                if obs_on {
+                    // Drain the scheduler's log before its events reach the
+                    // queue: every entry maps 1:1 onto the stats counters, so
+                    // trace-derived counts always equal the counter deltas.
+                    for se in cpu.drain_sched_log() {
+                        match se {
+                            SchedEvent::Switch { at, thread, migrated } => obs.record(
+                                TraceEvent::new(at, TraceKind::ThreadDispatch)
+                                    .thread(thread.0)
+                                    .arg(migrated as u64),
+                            ),
+                            SchedEvent::Park { at, thread } => obs.record(
+                                TraceEvent::new(at, TraceKind::ThreadPark).thread(thread.0),
+                            ),
+                        }
+                    }
+                }
                 for (t, e) in cpu_out.drain(..) {
                     sim.schedule_at(t, EngineEvent::Cpu(e));
                 }
@@ -328,6 +420,11 @@ impl Experiment {
         {
             let mut cx = ctx!(SimTime::ZERO);
             server.init(&mut cx, n);
+        }
+        if obs_on {
+            for i in 0..cpu.thread_count() {
+                obs.thread_name(i, cpu.thread_name(ThreadId(i)));
+            }
         }
         clients.start(&mut cl_out);
         flush!();
@@ -345,6 +442,12 @@ impl Experiment {
                 cpu_snap = *cpu.stats();
                 tcp_snap = tcp.stats();
                 snapped = true;
+                if obs_on {
+                    // Same instant as the stats snapshot: window-relative
+                    // trace counts are deltas from this point, which makes
+                    // them bit-identical to the RunSummary counter deltas.
+                    obs.window_open(warm_end);
+                }
             }
             let Some((now, ev)) = sim.next_event_before(end) else {
                 break;
@@ -378,6 +481,14 @@ impl Experiment {
                     }
                 }
                 EngineEvent::RequestArrive { conn } => {
+                    if obs_on {
+                        obs.record(
+                            TraceEvent::new(now, TraceKind::RequestArrive)
+                                .conn(conn.0)
+                                .class(conn_info[conn.0].class)
+                                .arg(conn_info[conn.0].response_bytes as u64),
+                        );
+                    }
                     let mut cx = ctx!(now);
                     server.on_request(&mut cx, conn);
                 }
@@ -393,6 +504,14 @@ impl Experiment {
                 EngineEvent::Tcp(tev) => match tcp.on_event(now, tev, &mut tcp_out) {
                     TcpNotice::SpaceFreed { conn, space } => {
                         if space > 0 {
+                            if obs_on {
+                                obs.record(
+                                    TraceEvent::new(now, TraceKind::SendBufDrain)
+                                        .conn(conn.0)
+                                        .class(conn_info[conn.0].class)
+                                        .arg(space as u64),
+                                );
+                            }
                             let mut cx = ctx!(now);
                             server.on_writable(&mut cx, conn);
                         }
@@ -409,6 +528,17 @@ impl Experiment {
                             if now >= warm_end && now < end {
                                 hist.record(rt);
                                 class_hist[conn_info[conn.0].class].record(rt);
+                            }
+                            if obs_on {
+                                obs.record(
+                                    TraceEvent::new(now, TraceKind::Completion)
+                                        .conn(conn.0)
+                                        .class(conn_info[conn.0].class)
+                                        .arg(rt.as_nanos()),
+                                );
+                                if now >= warm_end && now < end {
+                                    obs.sample("rt_ns", rt.as_nanos());
+                                }
                             }
                             req[conn.0] = None;
                             clients.complete(now, UserId(conn.0), &mut cl_out);
@@ -448,6 +578,34 @@ impl Experiment {
                 p99_rt_us: h.quantile(0.99).as_micros(),
             })
             .collect();
+        if obs_on {
+            // Publish run aggregates so --metrics-out and run_detailed()
+            // expose a single source of truth.
+            obs.counter("completions", completions);
+            obs.counter("context_switches", cpu_delta.context_switches);
+            obs.counter("preemptions", cpu_delta.preemptions);
+            obs.counter("steals", cpu_delta.steals);
+            obs.counter("write_calls", writes);
+            obs.counter("zero_writes", spins);
+            obs.counter("events_processed", sim.events_processed());
+            for (name, v) in server.debug_counters() {
+                obs.counter(name, v);
+            }
+            obs.gauge("throughput_rps", window.rate_per_sec());
+            obs.gauge("cs_per_req", per_req(cpu_delta.context_switches));
+            obs.gauge("writes_per_req", per_req(writes));
+            obs.gauge("spins_per_req", per_req(spins));
+            obs.gauge("cpu_user", breakdown.user_pct() / 100.0);
+            obs.gauge("cpu_sys", breakdown.sys_pct() / 100.0);
+            obs.gauge("cpu_idle", 1.0 - breakdown.utilization());
+            obs.gauge("rate_cv", window.rate_cv());
+            // Threads spawned after init() (none of the stock architectures
+            // do, but custom models may) still get named tracks.
+            for i in 0..cpu.thread_count() {
+                obs.thread_name(i, cpu.thread_name(ThreadId(i)));
+            }
+        }
+
         let summary = RunSummary {
             server: server.name().to_string(),
             concurrency: n,
@@ -471,6 +629,6 @@ impl Experiment {
             rate_cv: window.rate_cv(),
             per_class,
         };
-        (summary, trace)
+        summary
     }
 }

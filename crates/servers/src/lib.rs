@@ -38,7 +38,14 @@ mod arch;
 mod engine;
 mod profile;
 pub mod rubbos_engine;
+pub mod trace_codes;
 
 pub use arch::{ServerKind, ServerModel};
 pub use engine::{Ctx, EngineEvent, Experiment, ExperimentConfig};
 pub use profile::ServiceProfile;
+
+// Observability types used in this crate's public API, re-exported so
+// downstream harnesses don't need a direct asyncinv-obs dependency.
+pub use asyncinv_obs::{
+    audit, AuditReport, MetricsRegistry, NoopObserver, Observer, Recorder, TraceEvent, TraceKind,
+};

@@ -18,11 +18,12 @@
 //! concurrency, which is what the architecture comparison depends on (the
 //! worker pool exceeds the ~35 concurrent requests either way).
 
-use asyncinv_cpu::{CpuConfig, CpuModel, CpuEvent};
+use asyncinv_cpu::{CpuConfig, CpuModel, CpuEvent, SchedEvent, ThreadId};
 use asyncinv_metrics::{Histogram, ThroughputWindow};
+use asyncinv_obs::{NoopObserver, Observer, Recorder, TraceEvent, TraceKind};
 use asyncinv_simcore::{
     AdaptiveQueue, BackendKind, CalendarQueue, EventQueue, QueueBackend, SimDuration, SimRng,
-    SimTime, Simulation, TraceBuffer,
+    SimTime, Simulation,
 };
 use asyncinv_tcp::{ConnId, TcpConfig, TcpEvent, TcpNotice, TcpWorld};
 use asyncinv_workload::rubbos::{interactions, Interaction, Navigator, RubbosConfig};
@@ -142,15 +143,35 @@ impl RubbosExperiment {
     /// Panics if `kind` is not one of the two Tomcat architectures the
     /// paper's macro experiment compares.
     pub fn run(&self, kind: ServerKind) -> RubbosSummary {
+        let mut obs = NoopObserver;
+        self.run_observed(kind, &mut obs)
+    }
+
+    /// Runs the 3-tier system reporting structured trace events and metrics
+    /// into `obs`; same contract as [`RubbosExperiment::run`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not one of the two Tomcat architectures the
+    /// paper's macro experiment compares.
+    pub fn run_observed(&self, kind: ServerKind, obs: &mut dyn Observer) -> RubbosSummary {
         assert!(
             matches!(kind, ServerKind::SyncThread | ServerKind::AsyncPool),
             "the RUBBoS study compares TomcatSync (SyncThread) and TomcatAsync (AsyncPool)"
         );
         match self.backend {
-            BackendKind::Heap => run_macro::<EventQueue<MEvent>>(self, kind),
-            BackendKind::Calendar => run_macro::<CalendarQueue<MEvent>>(self, kind),
-            BackendKind::Adaptive => run_macro::<AdaptiveQueue<MEvent>>(self, kind),
+            BackendKind::Heap => run_macro::<EventQueue<MEvent>>(self, kind, obs),
+            BackendKind::Calendar => run_macro::<CalendarQueue<MEvent>>(self, kind, obs),
+            BackendKind::Adaptive => run_macro::<AdaptiveQueue<MEvent>>(self, kind, obs),
         }
+    }
+
+    /// Runs with structured tracing into a fresh [`Recorder`] retaining up
+    /// to `trace_capacity` events.
+    pub fn run_traced(&self, kind: ServerKind, trace_capacity: usize) -> (RubbosSummary, Recorder) {
+        let mut rec = Recorder::new(trace_capacity);
+        let summary = self.run_observed(kind, &mut rec);
+        (summary, rec)
     }
 }
 
@@ -173,7 +194,11 @@ struct MacroReq {
     remaining: usize,
 }
 
-fn run_macro<Q: QueueBackend<MEvent>>(cfg: &RubbosExperiment, kind: ServerKind) -> RubbosSummary {
+fn run_macro<Q: QueueBackend<MEvent>>(
+    cfg: &RubbosExperiment,
+    kind: ServerKind,
+    obs: &mut dyn Observer,
+) -> RubbosSummary {
     let users = cfg.workload.users;
     let warm_end = SimTime::ZERO + cfg.warmup;
     let end = warm_end + cfg.measure;
@@ -201,6 +226,7 @@ fn run_macro<Q: QueueBackend<MEvent>>(cfg: &RubbosExperiment, kind: ServerKind) 
         write_spin_limit: 16,
         tomcat_real_nio: true,
         trace_capacity: 0,
+        trace_sample: 0,
         backend: cfg.backend,
     };
     let mut server = kind.build(&engine_cfg);
@@ -231,7 +257,12 @@ fn run_macro<Q: QueueBackend<MEvent>>(cfg: &RubbosExperiment, kind: ServerKind) 
     let mut window = ThroughputWindow::new(warm_end, end);
     let mut hist = Histogram::new();
     let mut ia_hist: Vec<Histogram> = (0..table.len()).map(|_| Histogram::new()).collect();
-    let mut trace = TraceBuffer::disabled();
+
+    let obs_on = obs.is_enabled();
+    if obs_on {
+        obs.run_window(warm_end, end);
+        cpu.record_sched(true);
+    }
 
     macro_rules! ctx {
         ($now:expr) => {
@@ -243,12 +274,26 @@ fn run_macro<Q: QueueBackend<MEvent>>(cfg: &RubbosExperiment, kind: ServerKind) 
                 conn_info: &conn_info,
                 cpu_out: &mut cpu_out,
                 tcp_out: &mut tcp_out,
-                trace: &mut trace,
+                obs: &mut *obs,
+                obs_on,
             }
         };
     }
     macro_rules! flush {
         () => {
+            if obs_on {
+                for se in cpu.drain_sched_log() {
+                    match se {
+                        SchedEvent::Switch { at, thread, migrated } => obs.record(
+                            TraceEvent::new(at, TraceKind::ThreadDispatch)
+                                .thread(thread.0)
+                                .arg(migrated as u64),
+                        ),
+                        SchedEvent::Park { at, thread } => obs
+                            .record(TraceEvent::new(at, TraceKind::ThreadPark).thread(thread.0)),
+                    }
+                }
+            }
             for (t, e) in cpu_out.drain(..) {
                 sim.schedule_at(t, MEvent::Cpu(e));
             }
@@ -264,6 +309,11 @@ fn run_macro<Q: QueueBackend<MEvent>>(cfg: &RubbosExperiment, kind: ServerKind) 
     {
         let mut cx = ctx!(SimTime::ZERO);
         server.init(&mut cx, users);
+    }
+    if obs_on {
+        for i in 0..cpu.thread_count() {
+            obs.thread_name(i, cpu.thread_name(ThreadId(i)));
+        }
     }
     // Stagger session starts across one think-time mean.
     let stagger_ns = cfg.workload.think.mean().as_nanos().max(1);
@@ -283,6 +333,9 @@ fn run_macro<Q: QueueBackend<MEvent>>(cfg: &RubbosExperiment, kind: ServerKind) 
             cpu_snap = *cpu.stats();
             db_busy_snap = db.busy_time();
             snapped = true;
+            if obs_on {
+                obs.window_open(warm_end);
+            }
         }
         let Some((now, ev)) = sim.next_event_before(end) else {
             break;
@@ -320,6 +373,14 @@ fn run_macro<Q: QueueBackend<MEvent>>(cfg: &RubbosExperiment, kind: ServerKind) 
                 }
             }
             MEvent::Arrive { conn } => {
+                if obs_on {
+                    obs.record(
+                        TraceEvent::new(now, TraceKind::RequestArrive)
+                            .conn(conn.0)
+                            .class(conn_info[conn.0].class)
+                            .arg(conn_info[conn.0].response_bytes as u64),
+                    );
+                }
                 let mut cx = ctx!(now);
                 server.on_request(&mut cx, conn);
             }
@@ -352,6 +413,17 @@ fn run_macro<Q: QueueBackend<MEvent>>(cfg: &RubbosExperiment, kind: ServerKind) 
                             hist.record(rt);
                             ia_hist[conn_info[user].class].record(rt);
                         }
+                        if obs_on {
+                            obs.record(
+                                TraceEvent::new(done_at, TraceKind::Completion)
+                                    .conn(user)
+                                    .class(conn_info[user].class)
+                                    .arg(rt.as_nanos()),
+                            );
+                            if done_at >= warm_end && done_at < end {
+                                obs.sample("rt_ns", rt.as_nanos());
+                            }
+                        }
                         reqs[user] = None;
                         let think =
                             cfg.workload.think.sample(&mut rng);
@@ -367,6 +439,18 @@ fn run_macro<Q: QueueBackend<MEvent>>(cfg: &RubbosExperiment, kind: ServerKind) 
     let breakdown = cpu_delta.breakdown(cfg.measure, cfg.cpu.cores);
     let db_busy = db.busy_time() - db_busy_snap;
     let measure_s = cfg.measure.as_secs_f64();
+    if obs_on {
+        obs.counter("completions", window.completions());
+        obs.counter("context_switches", cpu_delta.context_switches);
+        obs.counter("events_processed", sim.events_processed());
+        obs.gauge("throughput_rps", window.rate_per_sec());
+        obs.gauge("cs_per_sec", cpu_delta.context_switches as f64 / measure_s);
+        obs.gauge("tomcat_cpu", breakdown.utilization());
+        obs.gauge(
+            "db_util",
+            db_busy.as_secs_f64() / (measure_s * cfg.workload.db_servers as f64),
+        );
+    }
     let per_interaction = table
         .iter()
         .zip(&ia_hist)

@@ -46,7 +46,6 @@ mod queue;
 mod rng;
 mod sim;
 mod time;
-mod trace;
 
 pub use backend::{
     AdaptiveQueue, BackendKind, QueueBackend, DEFAULT_SWITCH_DOWN, DEFAULT_SWITCH_UP,
@@ -56,4 +55,3 @@ pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use sim::{CalendarSimulation, HeapSimulation, Simulation};
 pub use time::{SimDuration, SimTime};
-pub use trace::{TraceBuffer, TraceEntry};

@@ -19,6 +19,19 @@ cargo test -q
 echo "== artifact smoke (Quick fidelity, parallel runner) =="
 cargo run --release -p asyncinv-bench --bin repro_all -- --quick
 
+echo "== observability: traced run + exporter round-trip =="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+cargo run --release -p asyncinv-bench --bin fig04_four_archetypes -- \
+    --quick --trace-out "$obs_dir" --metrics-out "$obs_dir"
+test -s "$obs_dir/fig04_four_archetypes.trace.jsonl"
+test -s "$obs_dir/fig04_four_archetypes.metrics.json"
+cargo run --release -p asyncinv-bench --bin trace_audit -- \
+    --validate "$obs_dir/fig04_four_archetypes.trace.json"
+
+echo "== trace audit (counters vs trace, all architectures) =="
+cargo run --release -p asyncinv-bench --bin trace_audit -- --quick
+
 echo "== benches compile =="
 cargo bench --no-run
 
