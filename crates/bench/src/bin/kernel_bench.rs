@@ -57,12 +57,25 @@ struct ObsRow {
     overhead_pct: f64,
 }
 
+/// Wall-clock cost of the fault plane when it is configured but empty: the
+/// same grid with `faults: None` and with an empty `FaultPlan` (compiles
+/// to zero operations). The summaries must be bit-identical; the recorded
+/// overhead is gated at <= 1% in the committed baseline.
+#[derive(Debug, Serialize)]
+struct FaultRow {
+    cells: usize,
+    no_plan_ms: f64,
+    empty_plan_ms: f64,
+    overhead_pct: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct KernelBench {
     hold: Vec<HoldRow>,
     grid: Vec<GridRow>,
     runner: RunnerRow,
     observability: ObsRow,
+    fault_plane: FaultRow,
 }
 
 /// The steady state of a discrete-event simulation: each iteration peeks
@@ -233,13 +246,50 @@ fn main() {
         observability.cells, untraced_ms, traced_ms, observability.overhead_pct
     );
 
-    // --- 5. Record. ---
+    // --- 5. Fault-plane overhead: faults None vs an empty FaultPlan. ---
+    let start = Instant::now();
+    let plain: Vec<_> = cells
+        .iter()
+        .map(|&(kind, size, conc)| Experiment::new(Fidelity::Quick.micro(conc, size)).run(kind))
+        .collect();
+    let no_plan_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let empty: Vec<_> = cells
+        .iter()
+        .map(|&(kind, size, conc)| {
+            let mut cfg = Fidelity::Quick.micro(conc, size);
+            cfg.faults = Some(asyncinv::fault::FaultPlan::default());
+            Experiment::new(cfg).run(kind)
+        })
+        .collect();
+    let empty_plan_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(plain, empty, "empty fault plan must be bit-identical");
+    let fault_plane = FaultRow {
+        cells: cells.len(),
+        no_plan_ms,
+        empty_plan_ms,
+        overhead_pct: (empty_plan_ms / no_plan_ms.max(1e-9) - 1.0) * 100.0,
+    };
+    println!(
+        "\nfault plane: {} cells  no plan {:.0} ms  empty plan {:.0} ms  overhead {:.1}% \
+         (summaries bit-identical)",
+        fault_plane.cells, no_plan_ms, empty_plan_ms, fault_plane.overhead_pct
+    );
+    if fault_plane.overhead_pct > 1.0 {
+        eprintln!(
+            "warning: empty fault plan overhead {:.1}% exceeds the 1% budget",
+            fault_plane.overhead_pct
+        );
+    }
+
+    // --- 6. Record. ---
     let out = std::env::var("ASYNCINV_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernel.json".into());
     let report = KernelBench {
         hold,
         grid: grid_rows,
         runner,
         observability,
+        fault_plane,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize kernel bench");
     std::fs::write(&out, json + "\n").expect("write kernel bench json");

@@ -10,7 +10,9 @@
 //! `--validate <file>` instead schema-checks an exported Chrome trace JSON
 //! file (as written by `--trace-out`) and reports its event count.
 
+use asyncinv::fault::{ConnSelector, FaultEvent, FaultKind, FaultPlan};
 use asyncinv::obs::{audit, validate_chrome_trace, TraceKind};
+use asyncinv::workload::RetryPolicy;
 use asyncinv::{fmt_f64, Experiment, ExperimentConfig, ServerKind, SimDuration, Table};
 use asyncinv_bench::{banner, fidelity_from_args};
 
@@ -19,6 +21,55 @@ fn cell(concurrency: usize, bytes: usize, quick: bool) -> ExperimentConfig {
     cfg.warmup = SimDuration::from_millis(if quick { 200 } else { 500 });
     cfg.measure = SimDuration::from_secs(if quick { 1 } else { 2 });
     cfg.trace_capacity = 1 << 14;
+    cfg
+}
+
+/// A cell with the fault plane fully lit: a mid-window loss spike, a
+/// global stall, connection resets and forced abandons, plus client
+/// timeouts/retries. Exercises every fault-plane counter so the audit
+/// proves injected-vs-observed reconciliation, not just all-zeros.
+fn faulted_cell(quick: bool) -> ExperimentConfig {
+    let mut cfg = cell(16, 10 * 1024, quick);
+    let mid = cfg.warmup + cfg.measure / 4;
+    let step = cfg.measure / 8;
+    cfg.retry = RetryPolicy {
+        timeout: Some(SimDuration::from_millis(30)),
+        max_retries: 3,
+        budget_ratio: 0.5,
+        ..RetryPolicy::default()
+    };
+    cfg.faults = Some(FaultPlan {
+        seed: 42,
+        events: vec![
+            FaultEvent {
+                at: mid,
+                fault: FaultKind::Loss {
+                    selector: ConnSelector::Fraction(0.5),
+                    prob: 0.3,
+                    duration: Some(step),
+                },
+            },
+            FaultEvent {
+                at: mid + step,
+                fault: FaultKind::WorkerStall {
+                    core: None,
+                    duration: SimDuration::from_millis(40),
+                },
+            },
+            FaultEvent {
+                at: mid + step * 2,
+                fault: FaultKind::ConnReset {
+                    selector: ConnSelector::Fraction(0.25),
+                },
+            },
+            FaultEvent {
+                at: mid + step * 3,
+                fault: FaultKind::Abandon {
+                    selector: ConnSelector::All,
+                },
+            },
+        ],
+    });
     cfg
 }
 
@@ -68,6 +119,7 @@ fn main() {
     for (cell_name, cfg) in [
         ("cs @1/0.1KB", cell(1, 100, quick)),
         ("spin @4/100KB", cell(4, 100 * 1024, quick)),
+        ("fault @16/10KB", faulted_cell(quick)),
     ] {
         for kind in ServerKind::ALL {
             let (summary, rec) = Experiment::new(cfg.clone()).run_traced(kind);

@@ -49,8 +49,20 @@ pub use asyncinv_metrics::{
 };
 pub use asyncinv_servers::{
     Ctx, EngineEvent, Experiment, ExperimentConfig, ServerKind, ServerModel, ServiceProfile,
+    ShedConfig, ShedPolicy,
 };
 pub use asyncinv_simcore::{BackendKind, SimDuration, SimRng, SimTime};
+
+/// Deterministic fault injection and client resilience (see
+/// `docs/resilience.md`).
+pub mod fault {
+    pub use asyncinv_fault::{
+        apply, fault_code_name, CompiledPlan, ConnSelector, FaultEvent, FaultKind, FaultOp,
+        FaultOutcome, FaultPlan, TimedOp,
+    };
+    pub use asyncinv_servers::{ShedConfig, ShedPolicy};
+    pub use asyncinv_workload::{RetryBudget, RetryPolicy};
+}
 
 /// The RUBBoS 3-tier macro benchmark (paper Section II / Fig 1).
 pub mod rubbos {
@@ -75,7 +87,7 @@ pub mod obs {
 pub mod workload {
     pub use asyncinv_workload::{
         ArrivalMode, ClientConfig, ClientEvent, ClientPool, Mix, PushModel, RequestClass,
-        RequestSpec, SizeDrift, Station,
+        RequestSpec, RetryBudget, RetryPolicy, SizeDrift, Station,
         StationEvent, ThinkTime, UserId, ZipfSampler,
     };
 }

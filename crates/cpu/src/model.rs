@@ -108,6 +108,10 @@ struct Core {
     /// the same budget, so a thread spinning through many small bursts is
     /// still preempted at slice boundaries like a real busy thread.
     slice_remaining: SimDuration,
+    /// Fault injection: no segment may start before this instant (worker
+    /// stall / GC-style pause). Stays `SimTime::ZERO` outside faults, which
+    /// makes the clamp in `start_segment` an exact identity.
+    frozen_until: SimTime,
 }
 
 /// The machine: cores, threads, ready queue, and accounting.
@@ -127,6 +131,11 @@ pub struct CpuModel {
     /// dispatch/park on the disabled path).
     sched_log: Vec<SchedEvent>,
     sched_log_on: bool,
+    /// Fault injection: burst durations are multiplied by this factor at
+    /// submit time (core slowdown / thermal throttle). Exactly 1.0 outside
+    /// faults, and the scaling branch is skipped entirely at 1.0 so
+    /// unfaulted runs stay bit-identical.
+    slowdown: f64,
 }
 
 impl CpuModel {
@@ -146,6 +155,7 @@ impl CpuModel {
                 segment_start: SimTime::ZERO,
                 segment_len: SimDuration::ZERO,
                 slice_remaining: SimDuration::ZERO,
+                frozen_until: SimTime::ZERO,
             })
             .collect();
         let n = cfg.cores;
@@ -158,6 +168,7 @@ impl CpuModel {
             stats: CpuStats::default(),
             sched_log: Vec::new(),
             sched_log_on: false,
+            slowdown: 1.0,
         }
     }
 
@@ -312,6 +323,11 @@ impl CpuModel {
             !burst.duration.is_zero(),
             "zero-length bursts are not allowed; skip the submit instead"
         );
+        let mut burst = burst;
+        if self.slowdown != 1.0 {
+            let ns = (burst.duration.as_nanos() as f64 * self.slowdown).ceil() as u64;
+            burst.duration = SimDuration::from_nanos(ns.max(1));
+        }
         let state = self.threads[tid.0].state;
         match state {
             ThreadState::Finishing(core) => {
@@ -424,6 +440,9 @@ impl CpuModel {
         tid: ThreadId,
         out: &mut Vec<(SimTime, CpuEvent)>,
     ) {
+        // Stall faults: no segment starts inside a freeze window. Outside
+        // faults `frozen_until` is ZERO and the clamp is the identity.
+        let now = now.max(self.cores[core.0].frozen_until);
         let remaining = self.threads[tid.0].remaining;
         debug_assert!(!remaining.is_zero());
         if self.cores[core.0].slice_remaining.is_zero() {
@@ -500,6 +519,95 @@ impl CpuModel {
                 self.dispatch_core(now, CoreId(i), out);
             }
         }
+    }
+
+    /// Fault hook: multiplies every subsequently submitted burst's duration
+    /// by `factor` (core slowdown, e.g. thermal throttling or a noisy
+    /// neighbor). `1.0` reverts to native speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slowdown factor must be positive, got {factor}"
+        );
+        self.slowdown = factor;
+    }
+
+    /// The current slowdown factor (1.0 = native speed).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Fault hook: stalls `core` (or every core, when `None`) for `dur`
+    /// starting at `now` — a worker stall, or a GC-style global pause.
+    ///
+    /// A segment executing on a stalled core is interrupted: the CPU time
+    /// already consumed is charged, the in-flight completion event is
+    /// invalidated via the dispatch token, and the remainder restarts when
+    /// the freeze lifts. Threads dispatched during the freeze start after
+    /// it (the clamp in `start_segment`). Overlapping stalls extend the
+    /// freeze to the latest end.
+    pub fn inject_stall(
+        &mut self,
+        now: SimTime,
+        core: Option<CoreId>,
+        dur: SimDuration,
+        out: &mut Vec<(SimTime, CpuEvent)>,
+    ) {
+        match core {
+            Some(c) => self.stall_core(now, c, dur, out),
+            None => {
+                for i in 0..self.cores.len() {
+                    self.stall_core(now, CoreId(i), dur, out);
+                }
+            }
+        }
+    }
+
+    fn stall_core(
+        &mut self,
+        now: SimTime,
+        core: CoreId,
+        dur: SimDuration,
+        out: &mut Vec<(SimTime, CpuEvent)>,
+    ) {
+        let until = (now + dur).max(self.cores[core.0].frozen_until);
+        self.cores[core.0].frozen_until = until;
+        let Some(tid) = self.cores[core.0].current else {
+            return; // idle core: only future dispatches are delayed
+        };
+        if self.threads[tid.0].state != ThreadState::Running(core) {
+            return; // finishing: between bursts, nothing to interrupt
+        }
+        let seg_start = self.cores[core.0].segment_start;
+        let seg_len = self.cores[core.0].segment_len;
+        if seg_start + seg_len <= now {
+            // The segment completes at this very instant; its event is
+            // already due. Let it play out — the freeze only delays what
+            // comes next.
+            return;
+        }
+        // Interrupt mid-segment: charge the elapsed share, cancel the
+        // pending event, and restart the remainder after the freeze. A
+        // segment scheduled to start in the future (post-switch-cost)
+        // simply restarts from its planned start.
+        let elapsed = if seg_start > now {
+            SimDuration::ZERO
+        } else {
+            now.duration_since(seg_start)
+        };
+        if !elapsed.is_zero() {
+            self.charge(tid, elapsed);
+            self.threads[tid.0].remaining -= elapsed;
+        }
+        let c = &mut self.cores[core.0];
+        c.token += 1;
+        c.slice_remaining = c.slice_remaining.saturating_sub(elapsed);
+        let restart = seg_start.max(now);
+        self.start_segment(restart, core, tid, out);
     }
 
     fn charge(&mut self, tid: ThreadId, seg: SimDuration) {

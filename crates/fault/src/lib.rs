@@ -1,0 +1,54 @@
+//! # asyncinv-fault — deterministic fault injection for the asyncinv lab
+//!
+//! A seeded, schedule-driven fault plane for the client/server simulation:
+//! scenarios are data ([`FaultPlan`]), compiled ahead of a run into a
+//! time-sorted list of concrete operations ([`CompiledPlan`]), and applied
+//! by the experiment engine at exact virtual instants through the fault
+//! hooks the `tcp` and `cpu` models expose. Everything is deterministic
+//! given the plan (same plan + same seed → bitwise-identical runs), and a
+//! run with *no* plan never touches any of these code paths.
+//!
+//! Three injector families:
+//!
+//! * **Network** ([`FaultKind::Loss`], [`FaultKind::AckDelay`],
+//!   [`FaultKind::SlowReader`], [`FaultKind::ConnReset`],
+//!   [`FaultKind::BufShrink`]) — segment loss with retransmission
+//!   timeouts, ACK-delay spikes, slow-draining receivers, connection
+//!   resets and send-buffer shrinkage, via `asyncinv-tcp`'s per-connection
+//!   hooks.
+//! * **CPU** ([`FaultKind::WorkerStall`], [`FaultKind::Slowdown`]) —
+//!   worker stalls / GC-style global pauses and core slowdowns, via
+//!   `asyncinv-cpu`.
+//! * **Client** ([`FaultKind::Abandon`]) — users giving up on in-flight
+//!   requests; the engine routes the outcome to the workload pool.
+//!
+//! ```
+//! use asyncinv_fault::{ConnSelector, FaultEvent, FaultKind, FaultPlan};
+//! use asyncinv_simcore::SimDuration;
+//!
+//! let plan = FaultPlan {
+//!     seed: 42,
+//!     events: vec![FaultEvent {
+//!         at: SimDuration::from_millis(500),
+//!         fault: FaultKind::Loss {
+//!             selector: ConnSelector::All,
+//!             prob: 0.05,
+//!             duration: Some(SimDuration::from_millis(200)),
+//!         },
+//!     }],
+//! };
+//! plan.validate().unwrap();
+//! let compiled = plan.compile(8, &asyncinv_tcp::TcpConfig::default());
+//! assert_eq!(compiled.ops.len(), 2); // apply + revert
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod plan;
+
+pub use plan::{
+    apply, fault_code_name, CompiledPlan, ConnSelector, FaultEvent, FaultKind, FaultOp,
+    FaultOutcome, FaultPlan, TimedOp, FAULT_ABANDON, FAULT_ACK_DELAY, FAULT_BUF_SHRINK,
+    FAULT_LOSS, FAULT_RESET, FAULT_REVERT_BASE, FAULT_SLOWDOWN, FAULT_SLOW_READER, FAULT_STALL,
+};

@@ -1,0 +1,743 @@
+//! Fault scenarios: serializable plans, compilation, and application.
+
+use asyncinv_cpu::{CoreId, CpuEvent, CpuModel};
+use asyncinv_simcore::{SimDuration, SimRng, SimTime};
+use asyncinv_tcp::{ConnId, TcpConfig, TcpEvent, TcpWorld};
+use serde::{Deserialize, Serialize};
+
+/// Which connections (equivalently, users — the experiments map one user to
+/// one connection) a network or client fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConnSelector {
+    /// Every connection.
+    All,
+    /// A single connection by index.
+    One(usize),
+    /// A seeded random subset: `ceil(frac * n)` distinct connections drawn
+    /// from the plan's RNG (deterministic given the plan seed and the
+    /// event's position in the schedule).
+    Fraction(f64),
+}
+
+/// One kind of injected fault.
+///
+/// Faults carrying a `duration` are *windowed*: compilation expands them
+/// into an apply operation at the event time and a revert operation (back
+/// to the baseline configuration) `duration` later. `duration: None` means
+/// the fault persists until the end of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Segment loss: flights on the selected connections are lost with
+    /// probability `prob` and retransmitted after the connection's RTO.
+    Loss {
+        /// Targeted connections.
+        selector: ConnSelector,
+        /// Per-flight loss probability in `[0, 1)`.
+        prob: f64,
+        /// Fault window; `None` holds until the end of the run.
+        duration: Option<SimDuration>,
+    },
+    /// ACK-delay spike: ACKs on the selected connections arrive `extra`
+    /// later than the path RTT (congestion on the return path).
+    AckDelay {
+        /// Targeted connections.
+        selector: ConnSelector,
+        /// Extra delay added to every ACK.
+        extra: SimDuration,
+        /// Fault window; `None` holds until the end of the run.
+        duration: Option<SimDuration>,
+    },
+    /// A slow-reader client: the receiver drains its window slowly, which
+    /// the send-path model observes as late ACKs. Mechanically identical
+    /// to [`FaultKind::AckDelay`] but traced with its own code so
+    /// scenarios can distinguish network congestion from client-side
+    /// back-pressure.
+    SlowReader {
+        /// Targeted connections.
+        selector: ConnSelector,
+        /// Extra ACK delay modelling the slow drain.
+        extra: SimDuration,
+        /// Fault window; `None` holds until the end of the run.
+        duration: Option<SimDuration>,
+    },
+    /// Connection reset: unsent buffered bytes are dropped and the
+    /// congestion state collapses to the initial window. Instantaneous.
+    ConnReset {
+        /// Targeted connections.
+        selector: ConnSelector,
+    },
+    /// Send-buffer shrink: clamps the usable send-buffer capacity to
+    /// `capacity` bytes (memory pressure on the server).
+    BufShrink {
+        /// Targeted connections.
+        selector: ConnSelector,
+        /// Clamped capacity in bytes.
+        capacity: usize,
+        /// Fault window; `None` holds until the end of the run.
+        duration: Option<SimDuration>,
+    },
+    /// Worker stall: freezes one core (or all cores, `core: None` — a
+    /// GC-style global pause) for `duration`. The stall itself is the
+    /// window; there is no separate revert.
+    WorkerStall {
+        /// Core index to stall, or `None` for every core.
+        core: Option<usize>,
+        /// Stall length.
+        duration: SimDuration,
+    },
+    /// Core slowdown: every burst submitted while active runs `factor`×
+    /// longer (thermal throttling, noisy neighbor).
+    Slowdown {
+        /// Duration multiplier (> 1 slows down; reverts to 1.0).
+        factor: f64,
+        /// Fault window; `None` holds until the end of the run.
+        duration: Option<SimDuration>,
+    },
+    /// Client abandonment: the selected users give up on whatever request
+    /// is in flight at the event time (users with nothing outstanding are
+    /// unaffected). Instantaneous.
+    Abandon {
+        /// Targeted connections/users.
+        selector: ConnSelector,
+    },
+}
+
+/// A scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time of injection, measured from the start of the run
+    /// (time zero, *not* the start of the measurement window).
+    pub at: SimDuration,
+    /// What happens.
+    pub fault: FaultKind,
+}
+
+/// A complete, serializable fault scenario.
+///
+/// The seed drives every random choice the plan makes (currently the
+/// [`ConnSelector::Fraction`] subsets); two compilations of the same plan
+/// against the same topology are identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FaultPlan {
+    /// Seed for the plan's own RNG (independent of workload seeds).
+    pub seed: u64,
+    /// The schedule. Order is preserved for simultaneous events.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Trace code for [`FaultKind::Loss`] (the `FaultInject` event arg).
+pub const FAULT_LOSS: u32 = 1;
+/// Trace code for [`FaultKind::AckDelay`].
+pub const FAULT_ACK_DELAY: u32 = 2;
+/// Trace code for [`FaultKind::ConnReset`].
+pub const FAULT_RESET: u32 = 3;
+/// Trace code for [`FaultKind::BufShrink`].
+pub const FAULT_BUF_SHRINK: u32 = 4;
+/// Trace code for [`FaultKind::WorkerStall`].
+pub const FAULT_STALL: u32 = 5;
+/// Trace code for [`FaultKind::Slowdown`].
+pub const FAULT_SLOWDOWN: u32 = 6;
+/// Trace code for [`FaultKind::Abandon`].
+pub const FAULT_ABANDON: u32 = 7;
+/// Trace code for [`FaultKind::SlowReader`].
+pub const FAULT_SLOW_READER: u32 = 8;
+/// Added to a fault code to mark the windowed revert operation.
+pub const FAULT_REVERT_BASE: u32 = 16;
+
+/// Human-readable name for a fault trace code (revert codes get a
+/// `~` prefix: `"~loss"` is the end of a loss window).
+pub fn fault_code_name(code: u32) -> &'static str {
+    match code {
+        FAULT_LOSS => "loss",
+        FAULT_ACK_DELAY => "ack_delay",
+        FAULT_RESET => "conn_reset",
+        FAULT_BUF_SHRINK => "buf_shrink",
+        FAULT_STALL => "stall",
+        FAULT_SLOWDOWN => "slowdown",
+        FAULT_ABANDON => "abandon",
+        FAULT_SLOW_READER => "slow_reader",
+        c if c == FAULT_REVERT_BASE + FAULT_LOSS => "~loss",
+        c if c == FAULT_REVERT_BASE + FAULT_ACK_DELAY => "~ack_delay",
+        c if c == FAULT_REVERT_BASE + FAULT_BUF_SHRINK => "~buf_shrink",
+        c if c == FAULT_REVERT_BASE + FAULT_SLOWDOWN => "~slowdown",
+        c if c == FAULT_REVERT_BASE + FAULT_SLOW_READER => "~slow_reader",
+        _ => "?",
+    }
+}
+
+/// A concrete operation against the models — selectors resolved, windows
+/// expanded into apply/revert pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultOp {
+    /// Set the loss probability on `conns`.
+    SetLoss {
+        /// Resolved connection indices.
+        conns: Vec<usize>,
+        /// New per-flight loss probability.
+        prob: f64,
+    },
+    /// Set the extra ACK delay on `conns`.
+    SetAckDelay {
+        /// Resolved connection indices.
+        conns: Vec<usize>,
+        /// New extra delay (ZERO reverts).
+        extra: SimDuration,
+    },
+    /// Reset `conns` (drop unsent bytes, collapse cwnd).
+    Reset {
+        /// Resolved connection indices.
+        conns: Vec<usize>,
+    },
+    /// Clamp (or un-clamp, `None`) the send-buffer capacity on `conns`.
+    SetCapClamp {
+        /// Resolved connection indices.
+        conns: Vec<usize>,
+        /// Clamp in bytes; `None` reverts.
+        cap: Option<usize>,
+    },
+    /// Stall a core (or all cores) for `duration`.
+    Stall {
+        /// Core index, or `None` for all.
+        core: Option<usize>,
+        /// Stall length.
+        duration: SimDuration,
+    },
+    /// Set the global CPU slowdown factor.
+    SetSlowdown {
+        /// Duration multiplier (1.0 reverts).
+        factor: f64,
+    },
+    /// Abandon the in-flight request of each of `conns`.
+    Abandon {
+        /// Resolved connection/user indices.
+        conns: Vec<usize>,
+    },
+}
+
+/// A compiled operation with its firing time and trace code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedOp {
+    /// Absolute virtual firing time (from run start).
+    pub at: SimTime,
+    /// The operation.
+    pub op: FaultOp,
+    /// Code recorded as the `FaultInject` trace arg (revert ops carry
+    /// `FAULT_REVERT_BASE + code`).
+    pub code: u32,
+}
+
+/// A [`FaultPlan`] compiled against a concrete topology: time-sorted,
+/// selectors resolved, windows expanded.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledPlan {
+    /// Operations sorted by firing time (stable for ties).
+    pub ops: Vec<TimedOp>,
+}
+
+impl CompiledPlan {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the plan does nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Side effects of applying one operation that only the experiment engine
+/// can act on (the models have no notion of users or in-flight requests).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultOutcome {
+    /// Users that must abandon their in-flight request.
+    pub abandons: Vec<usize>,
+    /// `(conn, dropped_bytes)` per reset connection — the engine subtracts
+    /// the dropped bytes from its delivery bookkeeping so byte conservation
+    /// holds.
+    pub resets: Vec<(usize, usize)>,
+}
+
+impl FaultPlan {
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks every event for structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid event.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, ev) in self.events.iter().enumerate() {
+            let err = |msg: String| Err(format!("fault event {i}: {msg}"));
+            match ev.fault {
+                FaultKind::Loss { selector, prob, duration } => {
+                    validate_selector(selector).map_err(|e| format!("fault event {i}: {e}"))?;
+                    if !(0.0..1.0).contains(&prob) {
+                        return err(format!("loss prob must be in [0, 1), got {prob}"));
+                    }
+                    validate_window(duration).map_err(|e| format!("fault event {i}: {e}"))?;
+                }
+                FaultKind::AckDelay { selector, extra, duration }
+                | FaultKind::SlowReader { selector, extra, duration } => {
+                    validate_selector(selector).map_err(|e| format!("fault event {i}: {e}"))?;
+                    if extra.is_zero() {
+                        return err("extra ack delay must be positive".into());
+                    }
+                    validate_window(duration).map_err(|e| format!("fault event {i}: {e}"))?;
+                }
+                FaultKind::ConnReset { selector } | FaultKind::Abandon { selector } => {
+                    validate_selector(selector).map_err(|e| format!("fault event {i}: {e}"))?;
+                }
+                FaultKind::BufShrink { selector, capacity, duration } => {
+                    validate_selector(selector).map_err(|e| format!("fault event {i}: {e}"))?;
+                    if capacity == 0 {
+                        return err("clamped capacity must be positive".into());
+                    }
+                    validate_window(duration).map_err(|e| format!("fault event {i}: {e}"))?;
+                }
+                FaultKind::WorkerStall { duration, .. } => {
+                    if duration.is_zero() {
+                        return err("stall duration must be positive".into());
+                    }
+                }
+                FaultKind::Slowdown { factor, duration } => {
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return err(format!("slowdown factor must be positive, got {factor}"));
+                    }
+                    validate_window(duration).map_err(|e| format!("fault event {i}: {e}"))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compiles the plan against a topology of `n_conns` connections whose
+    /// baseline is `base` (reverts restore its values). Selector subsets
+    /// are drawn from an RNG seeded by the plan seed and the event index,
+    /// so compilation is a pure function of `(plan, n_conns, base)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] or a
+    /// [`ConnSelector::One`] index is out of range.
+    pub fn compile(&self, n_conns: usize, base: &TcpConfig) -> CompiledPlan {
+        if let Err(e) = self.validate() {
+            panic!("invalid FaultPlan: {e}");
+        }
+        let mut ops = Vec::new();
+        for (i, ev) in self.events.iter().enumerate() {
+            let mut rng = SimRng::new(
+                self.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let at = SimTime::ZERO + ev.at;
+            let mut push = |op: FaultOp, code: u32| ops.push(TimedOp { at, op, code });
+            let push_revert =
+                |d: Option<SimDuration>, op: FaultOp, code: u32, ops: &mut Vec<TimedOp>| {
+                    if let Some(d) = d {
+                        ops.push(TimedOp {
+                            at: at + d,
+                            op,
+                            code: FAULT_REVERT_BASE + code,
+                        });
+                    }
+                };
+            match ev.fault {
+                FaultKind::Loss { selector, prob, duration } => {
+                    let conns = resolve(selector, n_conns, &mut rng);
+                    push(FaultOp::SetLoss { conns: conns.clone(), prob }, FAULT_LOSS);
+                    push_revert(
+                        duration,
+                        FaultOp::SetLoss { conns, prob: base.loss },
+                        FAULT_LOSS,
+                        &mut ops,
+                    );
+                }
+                FaultKind::AckDelay { selector, extra, duration } => {
+                    let conns = resolve(selector, n_conns, &mut rng);
+                    push(
+                        FaultOp::SetAckDelay { conns: conns.clone(), extra },
+                        FAULT_ACK_DELAY,
+                    );
+                    push_revert(
+                        duration,
+                        FaultOp::SetAckDelay { conns, extra: SimDuration::ZERO },
+                        FAULT_ACK_DELAY,
+                        &mut ops,
+                    );
+                }
+                FaultKind::SlowReader { selector, extra, duration } => {
+                    let conns = resolve(selector, n_conns, &mut rng);
+                    push(
+                        FaultOp::SetAckDelay { conns: conns.clone(), extra },
+                        FAULT_SLOW_READER,
+                    );
+                    push_revert(
+                        duration,
+                        FaultOp::SetAckDelay { conns, extra: SimDuration::ZERO },
+                        FAULT_SLOW_READER,
+                        &mut ops,
+                    );
+                }
+                FaultKind::ConnReset { selector } => {
+                    let conns = resolve(selector, n_conns, &mut rng);
+                    push(FaultOp::Reset { conns }, FAULT_RESET);
+                }
+                FaultKind::BufShrink { selector, capacity, duration } => {
+                    let conns = resolve(selector, n_conns, &mut rng);
+                    push(
+                        FaultOp::SetCapClamp { conns: conns.clone(), cap: Some(capacity) },
+                        FAULT_BUF_SHRINK,
+                    );
+                    push_revert(
+                        duration,
+                        FaultOp::SetCapClamp { conns, cap: None },
+                        FAULT_BUF_SHRINK,
+                        &mut ops,
+                    );
+                }
+                FaultKind::WorkerStall { core, duration } => {
+                    push(FaultOp::Stall { core, duration }, FAULT_STALL);
+                }
+                FaultKind::Slowdown { factor, duration } => {
+                    push(FaultOp::SetSlowdown { factor }, FAULT_SLOWDOWN);
+                    push_revert(
+                        duration,
+                        FaultOp::SetSlowdown { factor: 1.0 },
+                        FAULT_SLOWDOWN,
+                        &mut ops,
+                    );
+                }
+                FaultKind::Abandon { selector } => {
+                    let conns = resolve(selector, n_conns, &mut rng);
+                    push(FaultOp::Abandon { conns }, FAULT_ABANDON);
+                }
+            }
+        }
+        ops.sort_by_key(|op| op.at);
+        CompiledPlan { ops }
+    }
+}
+
+fn validate_selector(sel: ConnSelector) -> Result<(), String> {
+    match sel {
+        ConnSelector::Fraction(f) if !(f.is_finite() && 0.0 < f && f <= 1.0) => {
+            Err(format!("fraction must be in (0, 1], got {f}"))
+        }
+        _ => Ok(()),
+    }
+}
+
+fn validate_window(d: Option<SimDuration>) -> Result<(), String> {
+    match d {
+        Some(d) if d.is_zero() => Err("fault window must be positive".into()),
+        _ => Ok(()),
+    }
+}
+
+/// Resolves a selector to a sorted list of distinct connection indices.
+fn resolve(sel: ConnSelector, n: usize, rng: &mut SimRng) -> Vec<usize> {
+    match sel {
+        ConnSelector::All => (0..n).collect(),
+        ConnSelector::One(i) => {
+            assert!(i < n, "connection selector {i} out of range (n = {n})");
+            vec![i]
+        }
+        ConnSelector::Fraction(f) => {
+            let k = ((f * n as f64).ceil() as usize).clamp(1, n.max(1)).min(n);
+            // Partial Fisher-Yates over 0..n: the first k slots end up a
+            // uniform k-subset.
+            let mut idx: Vec<usize> = (0..n).collect();
+            for j in 0..k {
+                let pick = j + rng.gen_range((n - j) as u64) as usize;
+                idx.swap(j, pick);
+            }
+            let mut chosen: Vec<usize> = idx[..k].to_vec();
+            chosen.sort_unstable();
+            chosen
+        }
+    }
+}
+
+/// Applies one compiled operation to the models at `now`.
+///
+/// Network follow-up events (e.g. nothing today, but the hooks reserve the
+/// right) land in `tcp_out`; rescheduled CPU segments land in `cpu_out`.
+/// Effects only the engine can perform (abandonments, reset bookkeeping)
+/// are returned in the [`FaultOutcome`].
+pub fn apply(
+    op: &FaultOp,
+    now: SimTime,
+    tcp: &mut TcpWorld,
+    cpu: &mut CpuModel,
+    _tcp_out: &mut Vec<(SimTime, TcpEvent)>,
+    cpu_out: &mut Vec<(SimTime, CpuEvent)>,
+) -> FaultOutcome {
+    let mut outcome = FaultOutcome::default();
+    match op {
+        FaultOp::SetLoss { conns, prob } => {
+            for &c in conns {
+                tcp.conn_mut(ConnId(c)).set_loss(*prob);
+            }
+        }
+        FaultOp::SetAckDelay { conns, extra } => {
+            for &c in conns {
+                tcp.conn_mut(ConnId(c)).set_extra_ack_delay(*extra);
+            }
+        }
+        FaultOp::Reset { conns } => {
+            for &c in conns {
+                let dropped = tcp.conn_mut(ConnId(c)).reset(now);
+                outcome.resets.push((c, dropped));
+            }
+        }
+        FaultOp::SetCapClamp { conns, cap } => {
+            for &c in conns {
+                tcp.conn_mut(ConnId(c)).set_cap_clamp(*cap);
+            }
+        }
+        FaultOp::Stall { core, duration } => {
+            cpu.inject_stall(now, core.map(CoreId), *duration, cpu_out);
+        }
+        FaultOp::SetSlowdown { factor } => {
+            cpu.set_slowdown(*factor);
+        }
+        FaultOp::Abandon { conns } => {
+            outcome.abandons = conns.clone();
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windowed_loss(at_ms: u64, dur_ms: u64) -> FaultEvent {
+        FaultEvent {
+            at: SimDuration::from_millis(at_ms),
+            fault: FaultKind::Loss {
+                selector: ConnSelector::All,
+                prob: 0.1,
+                duration: Some(SimDuration::from_millis(dur_ms)),
+            },
+        }
+    }
+
+    #[test]
+    fn empty_plan_compiles_empty() {
+        let plan = FaultPlan::default();
+        let c = plan.compile(4, &TcpConfig::default());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn windowed_fault_expands_to_apply_and_revert() {
+        let plan = FaultPlan {
+            seed: 1,
+            events: vec![windowed_loss(100, 50)],
+        };
+        let base = TcpConfig::default();
+        let c = plan.compile(2, &base);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.ops[0].at, SimTime::from_millis(100));
+        assert_eq!(c.ops[0].code, FAULT_LOSS);
+        assert_eq!(c.ops[1].at, SimTime::from_millis(150));
+        assert_eq!(c.ops[1].code, FAULT_REVERT_BASE + FAULT_LOSS);
+        match (&c.ops[0].op, &c.ops[1].op) {
+            (
+                FaultOp::SetLoss { prob: p0, conns: c0 },
+                FaultOp::SetLoss { prob: p1, conns: c1 },
+            ) => {
+                assert_eq!(*p0, 0.1);
+                assert_eq!(*p1, base.loss);
+                assert_eq!(c0, &vec![0, 1]);
+                assert_eq!(c0, c1);
+            }
+            other => panic!("unexpected ops: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ops_are_time_sorted() {
+        let plan = FaultPlan {
+            seed: 1,
+            events: vec![windowed_loss(300, 10), windowed_loss(100, 500)],
+        };
+        let c = plan.compile(1, &TcpConfig::default());
+        let times: Vec<_> = c.ops.iter().map(|o| o.at.as_millis()).collect();
+        assert_eq!(times, vec![100, 300, 310, 600]);
+    }
+
+    #[test]
+    fn fraction_selector_is_deterministic_and_sized() {
+        let plan = |seed| FaultPlan {
+            seed,
+            events: vec![FaultEvent {
+                at: SimDuration::ZERO,
+                fault: FaultKind::Abandon {
+                    selector: ConnSelector::Fraction(0.25),
+                },
+            }],
+        };
+        let pick = |seed| match &plan(seed).compile(16, &TcpConfig::default()).ops[0].op {
+            FaultOp::Abandon { conns } => conns.clone(),
+            other => panic!("unexpected op: {other:?}"),
+        };
+        let a = pick(7);
+        assert_eq!(a.len(), 4, "ceil(0.25 * 16)");
+        assert_eq!(a, pick(7), "same seed, same subset");
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(a.iter().all(|&c| c < 16));
+        // Different seeds should (for this size) give a different subset.
+        assert_ne!(a, pick(8));
+    }
+
+    #[test]
+    fn validation_rejects_bad_events() {
+        let bad = |fault| FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent {
+                at: SimDuration::ZERO,
+                fault,
+            }],
+        };
+        assert!(bad(FaultKind::Loss {
+            selector: ConnSelector::All,
+            prob: 1.5,
+            duration: None,
+        })
+        .validate()
+        .is_err());
+        assert!(bad(FaultKind::Slowdown {
+            factor: 0.0,
+            duration: None,
+        })
+        .validate()
+        .is_err());
+        assert!(bad(FaultKind::AckDelay {
+            selector: ConnSelector::Fraction(0.0),
+            extra: SimDuration::from_millis(1),
+            duration: None,
+        })
+        .validate()
+        .is_err());
+        assert!(bad(FaultKind::WorkerStall {
+            core: None,
+            duration: SimDuration::ZERO,
+        })
+        .validate()
+        .is_err());
+        assert!(bad(FaultKind::BufShrink {
+            selector: ConnSelector::All,
+            capacity: 0,
+            duration: Some(SimDuration::from_millis(1)),
+        })
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_selector_bounds_checked_at_compile() {
+        let plan = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent {
+                at: SimDuration::ZERO,
+                fault: FaultKind::ConnReset {
+                    selector: ConnSelector::One(5),
+                },
+            }],
+        };
+        plan.compile(2, &TcpConfig::default());
+    }
+
+    #[test]
+    fn plan_round_trips_through_serde() {
+        let plan = FaultPlan {
+            seed: 99,
+            events: vec![
+                windowed_loss(10, 20),
+                FaultEvent {
+                    at: SimDuration::from_millis(30),
+                    fault: FaultKind::WorkerStall {
+                        core: Some(1),
+                        duration: SimDuration::from_millis(5),
+                    },
+                },
+                FaultEvent {
+                    at: SimDuration::from_millis(40),
+                    fault: FaultKind::SlowReader {
+                        selector: ConnSelector::Fraction(0.5),
+                        extra: SimDuration::from_micros(300),
+                        duration: None,
+                    },
+                },
+            ],
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn apply_reset_reports_dropped_bytes() {
+        let mut tcp = TcpWorld::new(TcpConfig::default());
+        let c = tcp.open(SimTime::ZERO);
+        let mut tcp_out = Vec::new();
+        // Fill the 16 KB buffer; only the initial cwnd is in flight, the
+        // rest sits unsent.
+        tcp.write(SimTime::ZERO, c, 16 * 1024, &mut tcp_out);
+        let mut cpu = CpuModel::new(asyncinv_cpu::CpuConfig::default());
+        let mut cpu_out = Vec::new();
+        let out = apply(
+            &FaultOp::Reset { conns: vec![0] },
+            SimTime::from_millis(1),
+            &mut tcp,
+            &mut cpu,
+            &mut tcp_out,
+            &mut cpu_out,
+        );
+        assert_eq!(out.resets.len(), 1);
+        assert_eq!(out.resets[0].0, 0);
+        assert!(out.resets[0].1 > 0, "unsent bytes were dropped");
+        assert_eq!(tcp.conn_stats(c).resets, 1);
+    }
+
+    #[test]
+    fn apply_slowdown_and_clamp() {
+        let mut tcp = TcpWorld::new(TcpConfig::default());
+        tcp.open(SimTime::ZERO);
+        let mut cpu = CpuModel::new(asyncinv_cpu::CpuConfig::default());
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        apply(
+            &FaultOp::SetSlowdown { factor: 2.0 },
+            SimTime::ZERO,
+            &mut tcp,
+            &mut cpu,
+            &mut a,
+            &mut b,
+        );
+        assert_eq!(cpu.slowdown(), 2.0);
+        apply(
+            &FaultOp::SetCapClamp { conns: vec![0], cap: Some(1024) },
+            SimTime::ZERO,
+            &mut tcp,
+            &mut cpu,
+            &mut a,
+            &mut b,
+        );
+        assert_eq!(tcp.conn(ConnId(0)).capacity(), 1024);
+        apply(
+            &FaultOp::SetCapClamp { conns: vec![0], cap: None },
+            SimTime::ZERO,
+            &mut tcp,
+            &mut cpu,
+            &mut a,
+            &mut b,
+        );
+        assert_eq!(tcp.conn(ConnId(0)).capacity(), 16 * 1024);
+    }
+}

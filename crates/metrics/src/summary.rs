@@ -94,6 +94,31 @@ pub struct RunSummary {
     /// Coefficient of variation of per-second throughput (near zero at
     /// steady state; experiments assert on it).
     pub rate_cv: f64,
+    /// Open-loop arrivals dropped because every connection was busy,
+    /// within the measurement window. Zero in closed-loop runs.
+    #[serde(default)]
+    pub dropped_arrivals: u64,
+    /// Client-side request timeouts within the window (resilience layer;
+    /// zero when no retry policy is configured).
+    #[serde(default)]
+    pub timeouts: u64,
+    /// Retries scheduled within the window.
+    #[serde(default)]
+    pub retries: u64,
+    /// Requests the client gave up on (retries/budget exhausted or an
+    /// abandonment fault) within the window.
+    #[serde(default)]
+    pub abandoned: u64,
+    /// Reject-fast error responses issued by the server within the window.
+    #[serde(default)]
+    pub rejected: u64,
+    /// Arrivals dropped or evicted by server-side load shedding within the
+    /// window.
+    #[serde(default)]
+    pub shed_dropped: u64,
+    /// Fault-plan actions applied within the window.
+    #[serde(default)]
+    pub fault_events: u64,
     /// Per-request-class breakdown, in mix order.
     pub per_class: Vec<ClassSummary>,
 }

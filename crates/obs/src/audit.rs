@@ -128,6 +128,23 @@ pub fn audit(summary: &RunSummary, rec: &Recorder) -> AuditReport {
             from_summary: summary.cs_per_sec,
         });
     }
+    // Fault-plane counters: every engine-side increment emits exactly one
+    // trace event at the same instant, so injected-vs-observed counts must
+    // reconcile bitwise (all zero in unfaulted runs).
+    for (name, kind, from_summary) in [
+        ("timeouts", TraceKind::ClientTimeout, summary.timeouts),
+        ("retries", TraceKind::Retry, summary.retries),
+        ("abandoned", TraceKind::Abandon, summary.abandoned),
+        ("rejected", TraceKind::Rejected, summary.rejected),
+        ("shed_dropped", TraceKind::Shed, summary.shed_dropped),
+        ("fault_events", TraceKind::FaultInject, summary.fault_events),
+    ] {
+        checks.push(AuditCheck {
+            name,
+            from_trace: rec.window_count(kind) as f64,
+            from_summary: from_summary as f64,
+        });
+    }
     AuditReport {
         server: summary.server.clone(),
         checks,

@@ -34,11 +34,30 @@ pub enum TraceKind {
     /// Architecture-specific annotation; `arg` is a mark code (see
     /// `asyncinv_servers::trace_codes`).
     Mark,
+    /// A fault-plan action was applied to a substrate; `arg` is the fault
+    /// code (see `asyncinv_fault::codes`).
+    FaultInject,
+    /// A client-side per-request timeout fired before the response
+    /// completed; `arg` is the attempt number that timed out (0 = first).
+    ClientTimeout,
+    /// A retry was scheduled after a timeout or rejection; `arg` is the
+    /// backoff delay in nanoseconds.
+    Retry,
+    /// The client gave up on a request (retries/budget exhausted or an
+    /// abandonment fault); `arg` is the number of attempts made.
+    Abandon,
+    /// The server shed an arrival under overload; `arg` is a shed code
+    /// (see `asyncinv_servers::trace_codes`).
+    Shed,
+    /// A reject-fast error response fully reached the client. Deliberately
+    /// distinct from [`TraceKind::Completion`]: rejected requests do not
+    /// count toward goodput. `arg` is the time since first send in ns.
+    Rejected,
 }
 
 impl TraceKind {
     /// Number of kinds (for per-kind counter arrays).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 16;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -52,6 +71,12 @@ impl TraceKind {
         TraceKind::SendBufDrain,
         TraceKind::Completion,
         TraceKind::Mark,
+        TraceKind::FaultInject,
+        TraceKind::ClientTimeout,
+        TraceKind::Retry,
+        TraceKind::Abandon,
+        TraceKind::Shed,
+        TraceKind::Rejected,
     ];
 
     /// Stable index for per-kind counter arrays.
@@ -72,6 +97,12 @@ impl TraceKind {
             TraceKind::SendBufDrain => "send_buf_drain",
             TraceKind::Completion => "completion",
             TraceKind::Mark => "mark",
+            TraceKind::FaultInject => "fault_inject",
+            TraceKind::ClientTimeout => "client_timeout",
+            TraceKind::Retry => "retry",
+            TraceKind::Abandon => "abandon",
+            TraceKind::Shed => "shed",
+            TraceKind::Rejected => "rejected",
         }
     }
 }

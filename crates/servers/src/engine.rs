@@ -2,6 +2,7 @@
 //! together and measures a run.
 
 use asyncinv_cpu::{Burst, CpuConfig, CpuEvent, CpuModel, SchedEvent, ThreadId};
+use asyncinv_fault::FaultPlan;
 use asyncinv_metrics::{ClassSummary, CpuShare, Histogram, RunSummary, ThroughputWindow};
 use asyncinv_obs::{NoopObserver, Observer, Recorder, TraceEvent, TraceKind};
 use asyncinv_simcore::{
@@ -9,7 +10,10 @@ use asyncinv_simcore::{
     Simulation,
 };
 use asyncinv_tcp::{ConnId, TcpConfig, TcpEvent, TcpNotice, TcpWorld};
-use asyncinv_workload::{ClientConfig, ClientEvent, ClientPool, Mix, ThinkTime, UserId};
+use asyncinv_workload::{
+    ClientConfig, ClientEvent, ClientPool, Mix, RetryBudget, RetryPolicy, ThinkTime, UserId,
+};
+use std::collections::VecDeque;
 
 use crate::arch::{ServerKind, ServerModel};
 use serde::{Deserialize, Serialize};
@@ -58,6 +62,60 @@ pub struct ExperimentConfig {
     /// wall-clock speed. Defaults to [`BackendKind::Adaptive`].
     #[serde(default)]
     pub backend: BackendKind,
+    /// Optional fault-injection schedule. `None` (the default) compiles to
+    /// nothing: no fault state is consulted anywhere in the hot path and
+    /// runs are bit-identical to builds without the fault plane.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
+    /// Optional server-side load shedding (bounded accept queue + a
+    /// concurrent-service cap). `None` admits everything, as before.
+    #[serde(default)]
+    pub shed: Option<ShedConfig>,
+    /// Client resilience policy (per-request timeout, bounded retries with
+    /// backoff + jitter, retry budget). Disabled by default.
+    #[serde(default)]
+    pub retry: RetryPolicy,
+}
+
+/// What the server does with an arrival that exceeds its capacity limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ShedPolicy {
+    /// Drop the incoming request silently (the client's timeout, if any,
+    /// recovers it).
+    #[default]
+    DropNew,
+    /// Evict the oldest queued request to make room for the incoming one.
+    DropOldest,
+    /// Immediately write a small error response so the client learns of
+    /// the rejection after one network round trip instead of a timeout.
+    RejectFast,
+}
+
+/// Server-side graceful-degradation limits, applied by the engine in front
+/// of every architecture's dispatch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShedConfig {
+    /// Maximum requests in service concurrently (across all connections).
+    pub max_concurrent: usize,
+    /// Bounded accept-queue capacity holding arrivals above the limit.
+    pub queue_cap: usize,
+    /// What happens when the queue is also full.
+    pub policy: ShedPolicy,
+    /// Error-response size written by [`ShedPolicy::RejectFast`].
+    pub reject_bytes: usize,
+}
+
+impl ShedConfig {
+    /// Checks the limits for structural validity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_concurrent == 0 {
+            return Err("max_concurrent must be positive".into());
+        }
+        if self.policy == ShedPolicy::RejectFast && self.reject_bytes == 0 {
+            return Err("reject_bytes must be positive for RejectFast".into());
+        }
+        Ok(())
+    }
 }
 
 impl ExperimentConfig {
@@ -93,6 +151,9 @@ impl ExperimentConfig {
             trace_capacity: 0,
             trace_sample: 0,
             backend: BackendKind::default(),
+            faults: None,
+            shed: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -116,6 +177,28 @@ pub enum EngineEvent {
     RequestArrive {
         /// Connection now readable.
         conn: ConnId,
+        /// Attempt epoch the bytes belong to; stale epochs (the client
+        /// timed out or abandoned meanwhile) are discarded on arrival.
+        epoch: u32,
+    },
+    /// A compiled fault-plan operation fires (index into the plan).
+    Fault {
+        /// Index into the compiled operation list.
+        idx: u32,
+    },
+    /// The client-side timeout for an attempt expired.
+    Timeout {
+        /// Connection whose request may have timed out.
+        conn: ConnId,
+        /// Attempt epoch the timer was armed for.
+        epoch: u32,
+    },
+    /// A backed-off retry fires: re-send the request.
+    Retry {
+        /// Connection retrying.
+        conn: ConnId,
+        /// Attempt epoch assigned when the retry was scheduled.
+        epoch: u32,
     },
 }
 
@@ -253,10 +336,33 @@ impl Ctx<'_> {
     }
 }
 
+/// The client's view of its outstanding request on one connection.
 #[derive(Debug, Clone, Copy)]
 struct ReqTrack {
+    /// First-send instant (response time is user-perceived: measured from
+    /// here even when the request was retried).
     sent_at: SimTime,
+    /// Current attempt epoch; in-flight events carrying an older epoch are
+    /// stale and ignored.
+    epoch: u32,
+    /// Retries already made (0 = first attempt outstanding).
+    attempt: u32,
+}
+
+/// The server's in-progress response on one connection. The engine
+/// serializes service per connection: a retransmitted request waits in
+/// `pending_arrival` until the previous attempt's response finishes.
+#[derive(Debug, Clone, Copy)]
+struct Serving {
+    /// Attempt epoch this response answers.
+    epoch: u32,
+    /// Response bytes not yet delivered to the client.
     remaining: usize,
+    /// `true` for an engine-issued reject-fast error response.
+    reject: bool,
+    /// `true` when a connection reset dropped part of the response; the
+    /// client never sees the full payload, so no completion is recorded.
+    shorted: bool,
 }
 
 /// Runs one experiment cell.
@@ -277,6 +383,19 @@ impl Experiment {
     pub fn new(cfg: ExperimentConfig) -> Self {
         if let Err(e) = cfg.tcp.validate() {
             panic!("invalid TcpConfig: {e}");
+        }
+        if let Err(e) = cfg.retry.validate() {
+            panic!("invalid RetryPolicy: {e}");
+        }
+        if let Some(shed) = &cfg.shed {
+            if let Err(e) = shed.validate() {
+                panic!("invalid ShedConfig: {e}");
+            }
+        }
+        if let Some(plan) = &cfg.faults {
+            if let Err(e) = plan.validate() {
+                panic!("invalid FaultPlan: {e}");
+            }
         }
         assert!(!cfg.measure.is_zero(), "measurement window must be positive");
         Experiment { cfg }
@@ -355,6 +474,30 @@ impl Experiment {
             tcp.open(SimTime::ZERO);
         }
 
+        // Resilience plane. With no fault plan, shed config and a disabled
+        // retry policy all of this is inert: `epoch` ticks along, `serving`
+        // mirrors what `req` used to track, and no extra events exist.
+        let policy = cfg.retry;
+        let retry_on = policy.enabled();
+        let timeout = policy.timeout.unwrap_or_default();
+        let shed = cfg.shed;
+        let compiled = cfg
+            .faults
+            .as_ref()
+            .map(|p| p.compile(n, &cfg.tcp))
+            .unwrap_or_default();
+        let mut budget = RetryBudget::new(&policy);
+        let mut epoch: Vec<u32> = vec![0; n];
+        let mut serving: Vec<Option<Serving>> = vec![None; n];
+        let mut pending_arrival: Vec<Option<u32>> = vec![None; n];
+        let mut accept_q: VecDeque<(usize, u32)> = VecDeque::new();
+        let mut serving_count: usize = 0;
+        let mut timeouts: u64 = 0;
+        let mut retries: u64 = 0;
+        let mut rejected: u64 = 0;
+        let mut shed_dropped: u64 = 0;
+        let mut fault_events: u64 = 0;
+
         let mut cpu_out: Vec<(SimTime, CpuEvent)> = Vec::new();
         let mut tcp_out: Vec<(SimTime, TcpEvent)> = Vec::new();
         let mut cl_out: Vec<(SimTime, ClientEvent)> = Vec::new();
@@ -417,6 +560,279 @@ impl Experiment {
             };
         }
 
+        // Starts serving `$ep` on `$conn` (the connection must be free).
+        macro_rules! start_serving {
+            ($now:expr, $conn:expr, $ep:expr) => {{
+                serving[$conn] = Some(Serving {
+                    epoch: $ep,
+                    remaining: conn_info[$conn].response_bytes,
+                    reject: false,
+                    shorted: false,
+                });
+                serving_count += 1;
+                let mut cx = ctx!($now);
+                server.on_request(&mut cx, ConnId($conn));
+            }};
+        }
+
+        // The client on `$conn` gives up on its in-flight request after
+        // `$attempts` attempts; in closed-loop mode it thinks, then issues a
+        // fresh request. The epoch bump invalidates every in-flight event
+        // of the abandoned attempt.
+        macro_rules! do_abandon {
+            ($now:expr, $conn:expr, $attempts:expr) => {{
+                if obs_on {
+                    obs.record(
+                        TraceEvent::new($now, TraceKind::Abandon)
+                            .conn($conn)
+                            .class(conn_info[$conn].class)
+                            .arg($attempts as u64),
+                    );
+                }
+                req[$conn] = None;
+                epoch[$conn] += 1;
+                pending_arrival[$conn] = None;
+                clients.abandon($now, UserId($conn), &mut cl_out);
+            }};
+        }
+
+        // A failure verdict arrived for the current attempt on `$conn`
+        // (timeout fired, or a reject-fast error response was received):
+        // retry with backoff if the policy and budget allow, else abandon.
+        macro_rules! retry_verdict {
+            ($now:expr, $conn:expr) => {{
+                let attempt = req[$conn].as_ref().map_or(0, |t| t.attempt);
+                if retry_on && attempt < policy.max_retries && budget.try_withdraw() {
+                    let backoff = clients.retry_backoff(&policy, attempt);
+                    retries += 1;
+                    if obs_on {
+                        obs.record(
+                            TraceEvent::new($now, TraceKind::Retry)
+                                .conn($conn)
+                                .class(conn_info[$conn].class)
+                                .arg(backoff.as_nanos()),
+                        );
+                    }
+                    epoch[$conn] += 1;
+                    let ne = epoch[$conn];
+                    if let Some(t) = req[$conn].as_mut() {
+                        t.epoch = ne;
+                        t.attempt += 1;
+                    }
+                    sim.schedule_at(
+                        $now + backoff,
+                        EngineEvent::Retry {
+                            conn: ConnId($conn),
+                            epoch: ne,
+                        },
+                    );
+                } else {
+                    do_abandon!($now, $conn, attempt + 1);
+                }
+            }};
+        }
+
+        // Admission control for a valid arrival: per-connection
+        // serialization first (a retransmission of a request whose previous
+        // response is still being produced parks in `pending_arrival`),
+        // then the shed limits, then dispatch to the architecture.
+        macro_rules! admit {
+            ($now:expr, $conn:expr, $ep:expr) => {{
+                if serving[$conn].is_some() {
+                    pending_arrival[$conn] = Some($ep);
+                } else if let Some(sc) = shed {
+                    if serving_count < sc.max_concurrent {
+                        start_serving!($now, $conn, $ep);
+                    } else if accept_q.len() < sc.queue_cap {
+                        accept_q.push_back(($conn, $ep));
+                        if obs_on {
+                            obs.record(
+                                TraceEvent::new($now, TraceKind::QueueEnter)
+                                    .conn($conn)
+                                    .class(conn_info[$conn].class)
+                                    .arg(crate::trace_codes::Q_ACCEPT),
+                            );
+                        }
+                    } else {
+                        match sc.policy {
+                            ShedPolicy::DropNew => {
+                                shed_dropped += 1;
+                                if obs_on {
+                                    obs.record(
+                                        TraceEvent::new($now, TraceKind::Shed)
+                                            .conn($conn)
+                                            .class(conn_info[$conn].class)
+                                            .arg(crate::trace_codes::SHED_DROP_NEW),
+                                    );
+                                }
+                            }
+                            ShedPolicy::DropOldest => {
+                                if let Some((oc, _oe)) = accept_q.pop_front() {
+                                    shed_dropped += 1;
+                                    if obs_on {
+                                        obs.record(
+                                            TraceEvent::new($now, TraceKind::QueueExit)
+                                                .conn(oc)
+                                                .class(conn_info[oc].class)
+                                                .arg(crate::trace_codes::Q_ACCEPT),
+                                        );
+                                        obs.record(
+                                            TraceEvent::new($now, TraceKind::Shed)
+                                                .conn(oc)
+                                                .class(conn_info[oc].class)
+                                                .arg(crate::trace_codes::SHED_EVICT),
+                                        );
+                                    }
+                                    accept_q.push_back(($conn, $ep));
+                                    if obs_on {
+                                        obs.record(
+                                            TraceEvent::new($now, TraceKind::QueueEnter)
+                                                .conn($conn)
+                                                .class(conn_info[$conn].class)
+                                                .arg(crate::trace_codes::Q_ACCEPT),
+                                        );
+                                    }
+                                } else {
+                                    // Zero-capacity queue degenerates to
+                                    // dropping the newcomer.
+                                    shed_dropped += 1;
+                                    if obs_on {
+                                        obs.record(
+                                            TraceEvent::new($now, TraceKind::Shed)
+                                                .conn($conn)
+                                                .class(conn_info[$conn].class)
+                                                .arg(crate::trace_codes::SHED_DROP_NEW),
+                                        );
+                                    }
+                                }
+                            }
+                            ShedPolicy::RejectFast => {
+                                rejected += 1;
+                                if obs_on {
+                                    let waited = req[$conn]
+                                        .as_ref()
+                                        .map_or(0, |t| $now.duration_since(t.sent_at).as_nanos());
+                                    obs.record(
+                                        TraceEvent::new($now, TraceKind::Rejected)
+                                            .conn($conn)
+                                            .class(conn_info[$conn].class)
+                                            .arg(waited),
+                                    );
+                                }
+                                // Engine-direct write: mirror `Ctx::write`'s
+                                // WriteCall/WriteSpin tracing exactly so
+                                // trace-derived syscall counts stay 1:1.
+                                let written =
+                                    tcp.write($now, ConnId($conn), sc.reject_bytes, &mut tcp_out);
+                                if obs_on {
+                                    obs.record(
+                                        TraceEvent::new($now, TraceKind::WriteCall)
+                                            .conn($conn)
+                                            .class(conn_info[$conn].class)
+                                            .arg(written as u64),
+                                    );
+                                    if written == 0 {
+                                        obs.record(
+                                            TraceEvent::new($now, TraceKind::WriteSpin)
+                                                .conn($conn)
+                                                .class(conn_info[$conn].class),
+                                        );
+                                    }
+                                }
+                                if written > 0 {
+                                    serving[$conn] = Some(Serving {
+                                        epoch: $ep,
+                                        remaining: written,
+                                        reject: true,
+                                        shorted: false,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    start_serving!($now, $conn, $ep);
+                }
+            }};
+        }
+
+        // Refills freed service slots from the bounded accept queue.
+        macro_rules! drain_queue {
+            ($now:expr) => {{
+                if let Some(sc) = shed {
+                    while serving_count < sc.max_concurrent {
+                        let Some((qc, qe)) = accept_q.pop_front() else {
+                            break;
+                        };
+                        if obs_on {
+                            obs.record(
+                                TraceEvent::new($now, TraceKind::QueueExit)
+                                    .conn(qc)
+                                    .class(conn_info[qc].class)
+                                    .arg(crate::trace_codes::Q_ACCEPT),
+                            );
+                        }
+                        // Entries whose attempt was timed out, abandoned or
+                        // superseded while queued are dropped silently.
+                        if serving[qc].is_none()
+                            && req[qc].as_ref().is_some_and(|t| t.epoch == qe)
+                        {
+                            start_serving!($now, qc, qe);
+                        }
+                    }
+                }
+            }};
+        }
+
+        // A response (real or reject-fast) finished delivering on `$conn`,
+        // or a connection reset zeroed out what remained: settle the client
+        // side, free the connection, and refill from the queue.
+        macro_rules! finish_serving {
+            ($now:expr, $conn:expr) => {{
+                let fin = serving[$conn].take().expect("finish without serving");
+                if !fin.reject {
+                    serving_count -= 1;
+                }
+                let matches = req[$conn].as_ref().is_some_and(|t| t.epoch == fin.epoch);
+                if matches && !fin.shorted {
+                    if fin.reject {
+                        retry_verdict!($now, $conn);
+                    } else {
+                        let track = req[$conn].expect("matched without track");
+                        let rt = $now.duration_since(track.sent_at);
+                        window.record($now);
+                        if $now >= warm_end && $now < end {
+                            hist.record(rt);
+                            class_hist[conn_info[$conn].class].record(rt);
+                        }
+                        if obs_on {
+                            obs.record(
+                                TraceEvent::new($now, TraceKind::Completion)
+                                    .conn($conn)
+                                    .class(conn_info[$conn].class)
+                                    .arg(rt.as_nanos()),
+                            );
+                            if $now >= warm_end && $now < end {
+                                obs.sample("rt_ns", rt.as_nanos());
+                            }
+                        }
+                        req[$conn] = None;
+                        clients.complete($now, UserId($conn), &mut cl_out);
+                    }
+                }
+                // Stale or shorted responses are drained and discarded by
+                // the client; recovery (if any) comes from its timeout.
+                if let Some(pe) = pending_arrival[$conn].take() {
+                    if req[$conn].as_ref().is_some_and(|t| t.epoch == pe) {
+                        admit!($now, $conn, pe);
+                    }
+                }
+                if !fin.reject {
+                    drain_queue!($now);
+                }
+            }};
+        }
+
         {
             let mut cx = ctx!(SimTime::ZERO);
             server.init(&mut cx, n);
@@ -427,6 +843,9 @@ impl Experiment {
             }
         }
         clients.start(&mut cl_out);
+        for (i, op) in compiled.ops.iter().enumerate() {
+            sim.schedule_at(op.at, EngineEvent::Fault { idx: i as u32 });
+        }
         flush!();
 
         // CpuStats is Copy: window snapshots are bitwise copies, so the
@@ -434,6 +853,13 @@ impl Experiment {
         let mut cpu_snap = *cpu.stats();
         let mut tcp_snap = tcp.stats();
         let mut snapped = false;
+        let mut timeouts_snap: u64 = 0;
+        let mut retries_snap: u64 = 0;
+        let mut rejected_snap: u64 = 0;
+        let mut shed_snap: u64 = 0;
+        let mut fault_snap: u64 = 0;
+        let mut abandoned_snap: u64 = 0;
+        let mut dropped_snap: u64 = 0;
 
         loop {
             // Snapshot counters exactly at the warm-up boundary. peek_time
@@ -441,6 +867,13 @@ impl Experiment {
             if !snapped && sim.peek_time().is_none_or(|t| t >= warm_end) {
                 cpu_snap = *cpu.stats();
                 tcp_snap = tcp.stats();
+                timeouts_snap = timeouts;
+                retries_snap = retries;
+                rejected_snap = rejected;
+                shed_snap = shed_dropped;
+                fault_snap = fault_events;
+                abandoned_snap = clients.abandoned();
+                dropped_snap = clients.dropped();
                 snapped = true;
                 if obs_on {
                     // Same instant as the stats snapshot: window-relative
@@ -460,11 +893,18 @@ impl Experiment {
                         response_bytes: spec.response_bytes,
                         class: spec.class,
                     };
+                    epoch[conn.0] += 1;
+                    let ep = epoch[conn.0];
                     req[conn.0] = Some(ReqTrack {
                         sent_at: now,
-                        remaining: spec.response_bytes,
+                        epoch: ep,
+                        attempt: 0,
                     });
-                    sim.schedule_at(now + one_way, EngineEvent::RequestArrive { conn });
+                    sim.schedule_at(now + one_way, EngineEvent::RequestArrive { conn, epoch: ep });
+                    if retry_on {
+                        budget.deposit();
+                        sim.schedule_at(now + timeout, EngineEvent::Timeout { conn, epoch: ep });
+                    }
                 }
                 EngineEvent::Client(ClientEvent::Arrival) => {
                     if let Some(spec) = clients.on_arrival(now, &mut cl_out) {
@@ -473,24 +913,97 @@ impl Experiment {
                             response_bytes: spec.response_bytes,
                             class: spec.class,
                         };
+                        epoch[conn.0] += 1;
+                        let ep = epoch[conn.0];
                         req[conn.0] = Some(ReqTrack {
                             sent_at: now,
-                            remaining: spec.response_bytes,
+                            epoch: ep,
+                            attempt: 0,
                         });
-                        sim.schedule_at(now + one_way, EngineEvent::RequestArrive { conn });
+                        sim.schedule_at(
+                            now + one_way,
+                            EngineEvent::RequestArrive { conn, epoch: ep },
+                        );
+                        if retry_on {
+                            budget.deposit();
+                            sim.schedule_at(
+                                now + timeout,
+                                EngineEvent::Timeout { conn, epoch: ep },
+                            );
+                        }
                     }
                 }
-                EngineEvent::RequestArrive { conn } => {
+                EngineEvent::RequestArrive { conn, epoch: ep } => {
+                    // Stale arrivals (the attempt was timed out, abandoned
+                    // or superseded in flight) are discarded unseen.
+                    if req[conn.0].as_ref().is_some_and(|t| t.epoch == ep) {
+                        if obs_on {
+                            obs.record(
+                                TraceEvent::new(now, TraceKind::RequestArrive)
+                                    .conn(conn.0)
+                                    .class(conn_info[conn.0].class)
+                                    .arg(conn_info[conn.0].response_bytes as u64),
+                            );
+                        }
+                        admit!(now, conn.0, ep);
+                    }
+                }
+                EngineEvent::Timeout { conn, epoch: ep } => {
+                    if req[conn.0].as_ref().is_some_and(|t| t.epoch == ep) {
+                        timeouts += 1;
+                        if obs_on {
+                            let attempt = req[conn.0].as_ref().map_or(0, |t| t.attempt);
+                            obs.record(
+                                TraceEvent::new(now, TraceKind::ClientTimeout)
+                                    .conn(conn.0)
+                                    .class(conn_info[conn.0].class)
+                                    .arg(attempt as u64),
+                            );
+                        }
+                        retry_verdict!(now, conn.0);
+                    }
+                }
+                EngineEvent::Retry { conn, epoch: ep } => {
+                    if req[conn.0].as_ref().is_some_and(|t| t.epoch == ep) {
+                        sim.schedule_at(
+                            now + one_way,
+                            EngineEvent::RequestArrive { conn, epoch: ep },
+                        );
+                        sim.schedule_at(now + timeout, EngineEvent::Timeout { conn, epoch: ep });
+                    }
+                }
+                EngineEvent::Fault { idx } => {
+                    fault_events += 1;
+                    let top = &compiled.ops[idx as usize];
                     if obs_on {
                         obs.record(
-                            TraceEvent::new(now, TraceKind::RequestArrive)
-                                .conn(conn.0)
-                                .class(conn_info[conn.0].class)
-                                .arg(conn_info[conn.0].response_bytes as u64),
+                            TraceEvent::new(now, TraceKind::FaultInject).arg(top.code as u64),
                         );
                     }
-                    let mut cx = ctx!(now);
-                    server.on_request(&mut cx, conn);
+                    let outcome = asyncinv_fault::apply(
+                        &top.op,
+                        now,
+                        &mut tcp,
+                        &mut cpu,
+                        &mut tcp_out,
+                        &mut cpu_out,
+                    );
+                    for (c, dropped) in outcome.resets {
+                        if dropped > 0 {
+                            if let Some(s) = serving[c].as_mut() {
+                                s.shorted = true;
+                                s.remaining = s.remaining.saturating_sub(dropped);
+                                if s.remaining == 0 {
+                                    finish_serving!(now, c);
+                                }
+                            }
+                        }
+                    }
+                    for u in outcome.abandons {
+                        if let Some(track) = req[u] {
+                            do_abandon!(now, u, track.attempt + 1);
+                        }
+                    }
                 }
                 EngineEvent::Cpu(cev) => {
                     if let Some(done) = cpu.on_event(now, cev, &mut cpu_out) {
@@ -517,31 +1030,13 @@ impl Experiment {
                         }
                     }
                     TcpNotice::Delivered { conn, bytes } => {
-                        let track = req[conn.0]
+                        let s = serving[conn.0]
                             .as_mut()
-                            .expect("delivery for a connection with no request");
-                        debug_assert!(bytes <= track.remaining, "over-delivery");
-                        track.remaining -= bytes;
-                        if track.remaining == 0 {
-                            let rt = now.duration_since(track.sent_at);
-                            window.record(now);
-                            if now >= warm_end && now < end {
-                                hist.record(rt);
-                                class_hist[conn_info[conn.0].class].record(rt);
-                            }
-                            if obs_on {
-                                obs.record(
-                                    TraceEvent::new(now, TraceKind::Completion)
-                                        .conn(conn.0)
-                                        .class(conn_info[conn.0].class)
-                                        .arg(rt.as_nanos()),
-                                );
-                                if now >= warm_end && now < end {
-                                    obs.sample("rt_ns", rt.as_nanos());
-                                }
-                            }
-                            req[conn.0] = None;
-                            clients.complete(now, UserId(conn.0), &mut cl_out);
+                            .expect("delivery for a connection with no response in service");
+                        debug_assert!(bytes <= s.remaining, "over-delivery");
+                        s.remaining -= bytes;
+                        if s.remaining == 0 {
+                            finish_serving!(now, conn.0);
                         }
                     }
                 },
@@ -588,6 +1083,13 @@ impl Experiment {
             obs.counter("write_calls", writes);
             obs.counter("zero_writes", spins);
             obs.counter("events_processed", sim.events_processed());
+            obs.counter("dropped_arrivals", clients.dropped() - dropped_snap);
+            obs.counter("timeouts", timeouts - timeouts_snap);
+            obs.counter("retries", retries - retries_snap);
+            obs.counter("abandoned", clients.abandoned() - abandoned_snap);
+            obs.counter("rejected", rejected - rejected_snap);
+            obs.counter("shed_dropped", shed_dropped - shed_snap);
+            obs.counter("fault_events", fault_events - fault_snap);
             for (name, v) in server.debug_counters() {
                 obs.counter(name, v);
             }
@@ -627,6 +1129,13 @@ impl Experiment {
                 idle: 1.0 - breakdown.utilization(),
             },
             rate_cv: window.rate_cv(),
+            dropped_arrivals: clients.dropped() - dropped_snap,
+            timeouts: timeouts - timeouts_snap,
+            retries: retries - retries_snap,
+            abandoned: clients.abandoned() - abandoned_snap,
+            rejected: rejected - rejected_snap,
+            shed_dropped: shed_dropped - shed_snap,
+            fault_events: fault_events - fault_snap,
             per_class,
         };
         summary

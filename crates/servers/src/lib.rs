@@ -41,8 +41,13 @@ pub mod rubbos_engine;
 pub mod trace_codes;
 
 pub use arch::{ServerKind, ServerModel};
-pub use engine::{Ctx, EngineEvent, Experiment, ExperimentConfig};
+pub use engine::{Ctx, EngineEvent, Experiment, ExperimentConfig, ShedConfig, ShedPolicy};
 pub use profile::ServiceProfile;
+
+// Fault-plane types used in `ExperimentConfig`, re-exported so harnesses
+// can build scenarios without a direct asyncinv-fault dependency.
+pub use asyncinv_fault::{ConnSelector, FaultEvent, FaultKind, FaultPlan};
+pub use asyncinv_workload::RetryPolicy;
 
 // Observability types used in this crate's public API, re-exported so
 // downstream harnesses don't need a direct asyncinv-obs dependency.

@@ -228,6 +228,9 @@ fn run_macro<Q: QueueBackend<MEvent>>(
         trace_capacity: 0,
         trace_sample: 0,
         backend: cfg.backend,
+        faults: None,
+        shed: None,
+        retry: asyncinv_workload::RetryPolicy::default(),
     };
     let mut server = kind.build(&engine_cfg);
 

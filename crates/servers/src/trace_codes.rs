@@ -22,8 +22,16 @@ pub const Q_DONE: u64 = 3;
 pub const Q_REGISTER: u64 = 4;
 /// A parked flush task resumed by a writability notification.
 pub const Q_FLUSH: u64 = 5;
+/// The engine's bounded accept queue in front of the architectures when
+/// load shedding ([`crate::ShedConfig`]) is enabled.
+pub const Q_ACCEPT: u64 = 6;
 /// Staged-SEDA stage queues: item code is `Q_STAGE_BASE + stage`.
 pub const Q_STAGE_BASE: u64 = 16;
+
+/// Shed event code: an arrival above capacity was dropped.
+pub const SHED_DROP_NEW: u64 = 1;
+/// Shed event code: the oldest queued request was evicted for a newcomer.
+pub const SHED_EVICT: u64 = 2;
 
 /// Hybrid router sent this request down the SingleT-style fast path.
 pub const MARK_PATH_FAST: u64 = 1;
@@ -59,6 +67,7 @@ pub fn name(code: u64, mark: bool) -> String {
             Q_DONE => "done".into(),
             Q_REGISTER => "register-read".into(),
             Q_FLUSH => "flush".into(),
+            Q_ACCEPT => "accept".into(),
             c if c >= Q_STAGE_BASE => format!("stage-{}", c - Q_STAGE_BASE),
             other => format!("item-{other}"),
         }
@@ -71,7 +80,8 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let queue: Vec<String> = [Q_READ, Q_WRITE, Q_DONE, Q_REGISTER, Q_FLUSH, Q_STAGE_BASE + 2]
+        let queue: Vec<String> =
+            [Q_READ, Q_WRITE, Q_DONE, Q_REGISTER, Q_FLUSH, Q_ACCEPT, Q_STAGE_BASE + 2]
             .iter()
             .map(|&c| name(c, false))
             .collect();

@@ -36,6 +36,8 @@ pub struct ConnStats {
     pub idle_resets: u64,
     /// Flights lost and retransmitted (loss extension).
     pub retransmits: u64,
+    /// Forced connection resets (fault injection).
+    pub resets: u64,
 }
 
 /// The send path of one established TCP connection.
@@ -48,6 +50,12 @@ pub struct Connection {
     cfg: TcpConfig,
     /// Usable send-buffer capacity right now (fixed, or autotuned).
     capacity: usize,
+    /// Fault-injected capacity clamp; while set, the usable capacity is
+    /// `min(capacity, clamp)` regardless of the buffer policy.
+    cap_clamp: Option<usize>,
+    /// Fault-injected extra one-way delay on the ACK return path (ACK-delay
+    /// spike / slow-reader client). Zero outside fault windows.
+    extra_ack_delay: SimDuration,
     /// Bytes in the buffer not yet handed to the wire.
     unsent: usize,
     /// Bytes on the wire awaiting ACK (they still occupy the buffer).
@@ -78,6 +86,8 @@ impl Connection {
         Connection {
             cfg,
             capacity,
+            cap_clamp: None,
+            extra_ack_delay: SimDuration::ZERO,
             unsent: 0,
             in_flight: 0,
             cwnd,
@@ -102,14 +112,18 @@ impl Connection {
         self.unsent + self.in_flight
     }
 
-    /// Free space in the send buffer.
+    /// Free space in the send buffer. Saturating: a fault-injected
+    /// capacity clamp may drop below what is already buffered.
     pub fn space(&self) -> usize {
-        self.capacity - self.buffered()
+        self.capacity().saturating_sub(self.buffered())
     }
 
-    /// Current usable send-buffer capacity.
+    /// Current usable send-buffer capacity (fault clamp applied).
     pub fn capacity(&self) -> usize {
-        self.capacity
+        match self.cap_clamp {
+            Some(c) => self.capacity.min(c),
+            None => self.capacity,
+        }
     }
 
     /// Current congestion window in bytes.
@@ -202,6 +216,49 @@ impl Connection {
         self.stats.bytes_delivered += bytes as u64;
     }
 
+    /// Fault hook: overrides the segment-loss probability from now on.
+    /// The loss RNG stream continues where it was, so reverting to the
+    /// configured base probability after a fault window stays deterministic.
+    pub fn set_loss(&mut self, prob: f64) {
+        debug_assert!((0.0..1.0).contains(&prob), "loss probability out of range");
+        self.cfg.loss = prob;
+        if prob > 0.0 && self.cfg.rto.is_zero() {
+            // The base config may never have validated a positive RTO.
+            self.cfg.rto = SimDuration::from_millis(200);
+        }
+    }
+
+    /// Fault hook: adds `extra` one-way delay to every ACK return from now
+    /// on (ACK-delay spike, or a slow-reader client draining its receive
+    /// buffer lazily). Pass [`SimDuration::ZERO`] to revert.
+    pub fn set_extra_ack_delay(&mut self, extra: SimDuration) {
+        self.extra_ack_delay = extra;
+    }
+
+    /// Fault hook: clamps the usable send-buffer capacity to `cap` bytes
+    /// (`None` reverts). Already-buffered bytes are not dropped; the
+    /// connection simply refuses new bytes until it drains below the clamp.
+    pub fn set_cap_clamp(&mut self, cap: Option<usize>) {
+        self.cap_clamp = cap;
+    }
+
+    /// Fault hook: connection reset (RST). Unsent buffered bytes are
+    /// dropped and the congestion window restarts cold. Bytes already on
+    /// the wire still deliver/ACK (their events are scheduled); returns the
+    /// number of dropped unsent bytes so the driver can reconcile its
+    /// response bookkeeping.
+    pub fn reset(&mut self, now: SimTime) -> usize {
+        let dropped = self.unsent;
+        self.unsent = 0;
+        self.cwnd = self.cfg.init_cwnd();
+        if let SendBufPolicy::AutoTune { min, max } = self.cfg.send_buf {
+            self.capacity = self.cwnd.clamp(min, max).max(self.buffered());
+        }
+        self.last_activity = now;
+        self.stats.resets += 1;
+        dropped
+    }
+
     /// Moves unsent bytes to the wire up to the congestion window.
     ///
     /// With the loss extension enabled, a lost flight is delivered (and
@@ -216,7 +273,7 @@ impl Connection {
         self.unsent -= send;
         self.in_flight += send;
         let mut deliver = self.cfg.one_way();
-        let mut ack = self.cfg.rtt();
+        let mut ack = self.cfg.rtt() + self.extra_ack_delay;
         if self.cfg.loss > 0.0 && self.loss_rng.gen_bool(self.cfg.loss) {
             self.stats.retransmits += 1;
             deliver += self.cfg.rto;

@@ -118,6 +118,13 @@ impl TcpWorld {
         &self.conns[id.0]
     }
 
+    /// Mutable access to a connection, for fault-injection hooks
+    /// ([`Connection::set_loss`], [`Connection::set_extra_ack_delay`],
+    /// [`Connection::set_cap_clamp`], [`Connection::reset`]).
+    pub fn conn_mut(&mut self, id: ConnId) -> &mut Connection {
+        &mut self.conns[id.0]
+    }
+
     /// Cumulative counters for one connection.
     pub fn conn_stats(&self, id: ConnId) -> ConnStats {
         self.conns[id.0].stats()

@@ -101,6 +101,8 @@ pub struct ClientPool {
     responses_done: u64,
     /// Open-loop arrivals that found every connection busy.
     dropped: u64,
+    /// Requests given up on (retries exhausted or an abandonment fault).
+    abandoned: u64,
 }
 
 impl ClientPool {
@@ -121,6 +123,7 @@ impl ClientPool {
             requests_sent: 0,
             responses_done: 0,
             dropped: 0,
+            abandoned: 0,
         }
     }
 
@@ -142,6 +145,11 @@ impl ClientPool {
     /// Open-loop arrivals dropped because every connection was busy.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Requests the pool gave up on via [`ClientPool::abandon`].
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
     }
 
     /// Users currently waiting for a response.
@@ -251,6 +259,32 @@ impl ClientPool {
         }
         // Open loop: the connection simply becomes available for the next
         // arrival; completions do not generate traffic.
+    }
+
+    /// The user gives up on its in-flight request (retry policy exhausted,
+    /// or an abandonment fault). Like [`ClientPool::complete`] the user
+    /// returns to thinking and — in closed-loop mode — schedules its next
+    /// send after a think time, but no response is counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the user was not waiting for a response (driver bug).
+    pub fn abandon(&mut self, now: SimTime, user: UserId, out: &mut Vec<(SimTime, ClientEvent)>) {
+        let st = &mut self.users[user.0];
+        assert_eq!(*st, UserState::Waiting, "user {user:?} was not waiting");
+        *st = UserState::Thinking;
+        self.abandoned += 1;
+        if matches!(self.cfg.arrivals, ArrivalMode::Closed) {
+            let think = self.cfg.think.sample(&mut self.rng);
+            out.push((now + think, ClientEvent::Send { user }));
+        }
+    }
+
+    /// Draws a retry backoff for `attempt` (0-based retry count) from the
+    /// pool's RNG stream. Only called when a retry actually happens, so
+    /// disabled policies leave the RNG stream untouched.
+    pub fn retry_backoff(&mut self, policy: &crate::RetryPolicy, attempt: u32) -> SimDuration {
+        policy.backoff_for(attempt, &mut self.rng)
     }
 }
 

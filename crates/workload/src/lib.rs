@@ -39,6 +39,7 @@
 
 mod class;
 mod clients;
+mod retry;
 pub mod rubbos;
 mod station;
 mod think;
@@ -46,6 +47,7 @@ mod zipf;
 
 pub use class::{Mix, PushModel, RequestClass, SizeDrift};
 pub use clients::{ArrivalMode, ClientConfig, ClientEvent, ClientPool, RequestSpec, UserId};
+pub use retry::{RetryBudget, RetryPolicy};
 pub use station::{Station, StationEvent};
 pub use think::ThinkTime;
 pub use zipf::ZipfSampler;

@@ -1,0 +1,242 @@
+//! Client-side resilience policy: per-request timeouts, bounded retries
+//! with exponential backoff + jitter, and a retry budget.
+//!
+//! The policy is pure data plus deterministic arithmetic over the sim
+//! clock; the experiment engine owns the timers (it schedules timeout and
+//! retry events on the simulation queue) and the [`crate::ClientPool`]
+//! owns the RNG the jitter draws from. With `timeout: None` (the default)
+//! the layer is fully disabled: no timers are scheduled and no random
+//! numbers are drawn, so unfaulted runs stay bit-identical to runs built
+//! before this layer existed.
+
+use asyncinv_simcore::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Client retry policy for one experiment.
+///
+/// `attempt` counts *retries already made*: the first retry after the
+/// initial send computes its backoff with `attempt = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Per-request timeout measured from each (re)send. `None` disables
+    /// timeouts, retries and the budget entirely.
+    pub timeout: Option<SimDuration>,
+    /// Maximum retries per request before the client abandons it. Zero
+    /// means timeouts are observed (and counted) but never retried.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub backoff_base: SimDuration,
+    /// Multiplier applied per subsequent retry (exponential backoff).
+    pub backoff_mult: f64,
+    /// Upper bound on the computed backoff (before jitter).
+    pub backoff_cap: SimDuration,
+    /// Uniform jitter added on top of the backoff, as a fraction of it
+    /// (`0.1` adds up to +10%). Zero draws no random numbers.
+    pub jitter_frac: f64,
+    /// Retry-budget token earn rate: tokens gained per *first-attempt*
+    /// send. Each retry spends one token; an empty bucket converts the
+    /// retry into an abandonment. `0.0` disables the budget (unbounded
+    /// retries up to `max_retries`) — the classic retry-storm ingredient.
+    pub budget_ratio: f64,
+    /// Retry-budget bucket capacity (also the initial fill).
+    pub budget_cap: f64,
+}
+
+impl Default for RetryPolicy {
+    /// Disabled policy (no timeout), with storm-safe knobs pre-filled so
+    /// enabling is just `policy.timeout = Some(..)`.
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: None,
+            max_retries: 3,
+            backoff_base: SimDuration::from_millis(1),
+            backoff_mult: 2.0,
+            backoff_cap: SimDuration::from_millis(100),
+            jitter_frac: 0.1,
+            budget_ratio: 0.0,
+            budget_cap: 10.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// `true` when the resilience layer is active.
+    pub fn enabled(&self) -> bool {
+        self.timeout.is_some()
+    }
+
+    /// Backoff before retry number `attempt` (0-based), with jitter drawn
+    /// from `rng`. Deterministic given the RNG state.
+    pub fn backoff_for(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let base = self.backoff_base.as_nanos() as f64
+            * self.backoff_mult.powi(attempt.min(63) as i32);
+        let capped = base.min(self.backoff_cap.as_nanos() as f64).max(0.0);
+        let jitter = if self.jitter_frac > 0.0 {
+            capped * self.jitter_frac * rng.next_f64()
+        } else {
+            0.0
+        };
+        SimDuration::from_nanos((capped + jitter).max(1.0) as u64)
+    }
+
+    /// Checks the knobs for structural validity.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(t) = self.timeout {
+            if t.is_zero() {
+                return Err("retry timeout must be positive".into());
+            }
+        }
+        if !self.backoff_mult.is_finite() || self.backoff_mult < 1.0 {
+            return Err(format!(
+                "backoff_mult must be >= 1.0, got {}",
+                self.backoff_mult
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.jitter_frac) {
+            return Err(format!(
+                "jitter_frac must be in [0, 1], got {}",
+                self.jitter_frac
+            ));
+        }
+        if self.budget_ratio < 0.0 || !self.budget_ratio.is_finite() {
+            return Err("budget_ratio must be finite and non-negative".into());
+        }
+        if self.budget_ratio > 0.0 && self.budget_cap < 1.0 {
+            return Err("budget_cap must be >= 1.0 when the budget is on".into());
+        }
+        Ok(())
+    }
+}
+
+/// A token-bucket retry budget (client-wide, like Finagle's `RetryBudget`).
+///
+/// Deposits a fraction of a token per first-attempt send; each retry
+/// withdraws a whole token. Plain f64 arithmetic — deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryBudget {
+    tokens: f64,
+    ratio: f64,
+    cap: f64,
+}
+
+impl RetryBudget {
+    /// A budget from the policy's knobs (starts full).
+    pub fn new(policy: &RetryPolicy) -> Self {
+        RetryBudget {
+            tokens: policy.budget_cap,
+            ratio: policy.budget_ratio,
+            cap: policy.budget_cap,
+        }
+    }
+
+    /// Records a first-attempt send (earns `ratio` tokens).
+    pub fn deposit(&mut self) {
+        if self.ratio > 0.0 {
+            self.tokens = (self.tokens + self.ratio).min(self.cap);
+        }
+    }
+
+    /// Attempts to spend one token for a retry. Always succeeds when the
+    /// budget is disabled (`ratio == 0`).
+    pub fn try_withdraw(&mut self) -> bool {
+        if self.ratio == 0.0 {
+            return true;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remaining tokens (for diagnostics).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on() -> RetryPolicy {
+        RetryPolicy {
+            timeout: Some(SimDuration::from_millis(10)),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn default_is_disabled_and_valid() {
+        let p = RetryPolicy::default();
+        assert!(!p.enabled());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter_frac: 0.0,
+            ..on()
+        };
+        let mut rng = SimRng::new(1);
+        let b0 = p.backoff_for(0, &mut rng);
+        let b1 = p.backoff_for(1, &mut rng);
+        let b9 = p.backoff_for(9, &mut rng);
+        assert_eq!(b0, p.backoff_base);
+        assert_eq!(b1, p.backoff_base * 2);
+        assert_eq!(b9, p.backoff_cap, "exponential growth hits the cap");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let p = on();
+        let sample = |seed| {
+            let mut rng = SimRng::new(seed);
+            p.backoff_for(2, &mut rng)
+        };
+        assert_eq!(sample(7), sample(7));
+        let base = p.backoff_base * 4;
+        let jittered = sample(7);
+        assert!(jittered >= base);
+        assert!(jittered.as_nanos() as f64 <= base.as_nanos() as f64 * 1.1 + 1.0);
+    }
+
+    #[test]
+    fn budget_earns_and_spends() {
+        let p = RetryPolicy {
+            budget_ratio: 0.5,
+            budget_cap: 2.0,
+            ..on()
+        };
+        let mut b = RetryBudget::new(&p);
+        assert!(b.try_withdraw());
+        assert!(b.try_withdraw());
+        assert!(!b.try_withdraw(), "bucket exhausted");
+        b.deposit();
+        b.deposit();
+        assert!(b.try_withdraw(), "two sends earn one retry");
+    }
+
+    #[test]
+    fn disabled_budget_is_unbounded() {
+        let mut b = RetryBudget::new(&RetryPolicy::default());
+        for _ in 0..1000 {
+            assert!(b.try_withdraw());
+        }
+    }
+
+    #[test]
+    fn invalid_knobs_are_rejected() {
+        let mut p = on();
+        p.backoff_mult = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = on();
+        p.jitter_frac = 2.0;
+        assert!(p.validate().is_err());
+        let mut p = on();
+        p.timeout = Some(SimDuration::ZERO);
+        assert!(p.validate().is_err());
+    }
+}

@@ -32,6 +32,10 @@ cargo run --release -p asyncinv-bench --bin trace_audit -- \
 echo "== trace audit (counters vs trace, all architectures) =="
 cargo run --release -p asyncinv-bench --bin trace_audit -- --quick
 
+echo "== resilience: checked-in fault scenario, traced + audited =="
+cargo run --release -p asyncinv-bench --bin resilience -- \
+    --quick --scenario scenarios/retry_storm.json
+
 echo "== benches compile =="
 cargo bench --no-run
 

@@ -1,0 +1,191 @@
+//! Property tests of the fault-injection plane: an empty plan is exactly
+//! the unfaulted engine, arbitrary plans are deterministic (including
+//! across OS threads), and the trace reconciles with the summary under
+//! injected faults.
+
+use asyncinv::fault::{ConnSelector, FaultEvent, FaultKind, FaultPlan};
+use asyncinv::obs::audit;
+use asyncinv::prelude::*;
+use asyncinv::workload::RetryPolicy;
+use proptest::prelude::*;
+
+const CONC: usize = 8;
+
+fn cell() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::micro(CONC, 10 * 1024);
+    cfg.warmup = SimDuration::from_millis(100);
+    cfg.measure = SimDuration::from_millis(400);
+    cfg
+}
+
+fn storm_policy() -> RetryPolicy {
+    RetryPolicy {
+        timeout: Some(SimDuration::from_millis(20)),
+        max_retries: 3,
+        budget_ratio: 0.5,
+        ..RetryPolicy::default()
+    }
+}
+
+/// `faults: Some(empty)` must be bit-identical to `faults: None` on every
+/// architecture — the fault plane compiles away when unused.
+#[test]
+fn empty_plan_is_identity_on_every_architecture() {
+    for kind in ServerKind::ALL {
+        let plain = Experiment::new(cell()).run(kind);
+        let mut cfg = cell();
+        cfg.faults = Some(FaultPlan::default());
+        let empty = Experiment::new(cfg).run(kind);
+        assert_eq!(plain, empty, "{kind}: empty plan diverged from no plan");
+        assert_eq!(plain.fault_events, 0);
+        assert_eq!(plain.retries, 0);
+        assert_eq!(plain.timeouts, 0);
+    }
+}
+
+/// The same faulted configuration run on different OS threads produces the
+/// same summary as on the main thread: no ambient state feeds the engine.
+#[test]
+fn faulted_run_is_identical_across_os_threads() {
+    let mk = || {
+        let mut cfg = cell();
+        cfg.retry = storm_policy();
+        cfg.faults = Some(FaultPlan {
+            seed: 9,
+            events: vec![
+                FaultEvent {
+                    at: SimDuration::from_millis(200),
+                    fault: FaultKind::Slowdown {
+                        factor: 8.0,
+                        duration: Some(SimDuration::from_millis(100)),
+                    },
+                },
+                FaultEvent {
+                    at: SimDuration::from_millis(250),
+                    fault: FaultKind::ConnReset {
+                        selector: ConnSelector::Fraction(0.5),
+                    },
+                },
+            ],
+        });
+        cfg
+    };
+    let main = Experiment::new(mk()).run(ServerKind::NettyLike);
+    let handles: Vec<_> = (0..2)
+        .map(|_| std::thread::spawn(move || Experiment::new(mk()).run(ServerKind::NettyLike)))
+        .collect();
+    for h in handles {
+        assert_eq!(main, h.join().expect("worker thread"));
+    }
+    assert!(main.fault_events > 0, "the plan must actually fire");
+}
+
+/// Raw draws for one fault event (the vendored proptest composes only
+/// primitive tuple strategies, so the enum is decoded in the test body):
+/// `((at_ms, kind_idx, sel_idx, conn_idx), (unit, small_ms, windowed, win_ms))`.
+type RawEvent = ((u64, usize, usize, usize), (f64, u64, usize, u64));
+
+fn raw_event_strategy() -> impl Strategy<Value = RawEvent> {
+    (
+        (0u64..450, 0usize..8, 0usize..3, 0usize..CONC),
+        (0.0f64..1.0, 1u64..30, 0usize..2, 10u64..200),
+    )
+}
+
+fn build_event(raw: RawEvent) -> FaultEvent {
+    let ((at_ms, kind_idx, sel_idx, conn_idx), (unit, small_ms, windowed, win_ms)) = raw;
+    let selector = match sel_idx {
+        0 => ConnSelector::All,
+        1 => ConnSelector::One(conn_idx),
+        _ => ConnSelector::Fraction(unit * 0.9 + 0.05),
+    };
+    let duration = (windowed == 1).then(|| SimDuration::from_millis(win_ms));
+    let extra = SimDuration::from_millis(small_ms);
+    let fault = match kind_idx {
+        0 => FaultKind::Loss {
+            selector,
+            prob: unit * 0.9,
+            duration,
+        },
+        1 => FaultKind::AckDelay {
+            selector,
+            extra,
+            duration,
+        },
+        2 => FaultKind::SlowReader {
+            selector,
+            extra,
+            duration,
+        },
+        3 => FaultKind::ConnReset { selector },
+        4 => FaultKind::BufShrink {
+            selector,
+            capacity: small_ms as usize * 1024,
+            duration,
+        },
+        5 => FaultKind::WorkerStall {
+            core: (win_ms % 2 == 0).then_some(conn_idx % 2),
+            duration: extra,
+        },
+        6 => FaultKind::Slowdown {
+            factor: 0.25 + unit * 8.0,
+            duration,
+        },
+        _ => FaultKind::Abandon { selector },
+    };
+    FaultEvent {
+        at: SimDuration::from_millis(at_ms),
+        fault,
+    }
+}
+
+fn build_plan(seed: u64, raw: Vec<RawEvent>) -> FaultPlan {
+    FaultPlan {
+        seed,
+        events: raw.into_iter().map(build_event).collect(),
+    }
+}
+
+proptest! {
+    // Each case runs two full simulations; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid plan, on any architecture, with retries on: two runs are
+    /// bit-identical, and the structured trace reconciles with the
+    /// summary's fault-plane counters.
+    #[test]
+    fn faulted_runs_are_deterministic_and_audited(
+        kind in prop::sample::select(ServerKind::ALL.to_vec()),
+        plan_seed in 0u64..1 << 48,
+        raw in prop::collection::vec(raw_event_strategy(), 0..4),
+        seed in 0u64..1_000,
+    ) {
+        let plan = build_plan(plan_seed, raw);
+        prop_assert!(plan.validate().is_ok());
+        let mk = || {
+            let mut cfg = cell();
+            cfg.clients.seed = seed;
+            cfg.retry = storm_policy();
+            cfg.faults = Some(plan.clone());
+            cfg.trace_capacity = 64;
+            cfg
+        };
+        let (a, rec) = Experiment::new(mk()).run_traced(kind);
+        let b = Experiment::new(mk()).run(kind);
+        prop_assert_eq!(&a, &b, "same plan, same seed must be bitwise identical");
+        let report = audit(&a, &rec);
+        prop_assert!(report.pass(), "{}", report);
+    }
+
+    /// Serialization round-trips arbitrary plans exactly.
+    #[test]
+    fn plans_round_trip_through_json(
+        plan_seed in 0u64..1 << 48,
+        raw in prop::collection::vec(raw_event_strategy(), 0..4),
+    ) {
+        let plan = build_plan(plan_seed, raw);
+        let json = serde_json::to_string(&plan).expect("serialize plan");
+        let back: FaultPlan = serde_json::from_str(&json).expect("parse plan");
+        prop_assert_eq!(plan, back);
+    }
+}
