@@ -11,6 +11,9 @@
 //! (override the path with `ASYNCINV_BENCH_OUT`). The committed copy at the
 //! repository root is the recorded baseline referenced by `EXPERIMENTS.md`.
 
+// detlint::allow-file(wall-clock, reason = "self-benchmark of the kernel: wall-clock timing of the host is the measurement itself, never an input to simulated time")
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use asyncinv::figures::Fidelity;

@@ -1,0 +1,462 @@
+//! Trace-schema coverage: every `TraceKind` variant must be handled by
+//! every exporter surface and dispositioned by the audit, and must be
+//! emitted by at least one engine.
+//!
+//! The schema enum is parsed from source; each configured *surface* (a
+//! function or const that is supposed to handle every kind) is then
+//! checked for a `TraceKind::Variant` reference per variant. Wildcard
+//! match arms (`_ =>`) inside a surface are themselves violations: a
+//! wildcard is exactly how a newly added trace code silently escapes an
+//! exporter or the audit. Finally, every variant must be *emitted*
+//! somewhere in the engine crates — a variant nobody emits is a dead
+//! trace code and the counters it promises can rot unnoticed.
+//!
+//! Deleting a match arm from any surface therefore fails this analyzer
+//! even though the token-level pass never type-checks anything.
+
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+use crate::lexer::{lex, Token, TokenText};
+
+/// What kind of item a surface is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurfaceItem {
+    /// A free function or method: the body of `fn <name>`.
+    Fn,
+    /// A const array: the `[...]` initializer of `const <name>`.
+    Const,
+}
+
+/// One place that must handle every enum variant.
+#[derive(Debug, Clone)]
+pub struct Surface {
+    /// File the item lives in, relative to the workspace root.
+    pub file: PathBuf,
+    /// Item kind.
+    pub item: SurfaceItem,
+    /// Item name (`name`, `chrome_cat`, `ALL`, ...).
+    pub name: String,
+    /// Human-readable label for reports.
+    pub label: String,
+}
+
+impl Surface {
+    pub fn func(file: &str, name: &str, label: &str) -> Self {
+        Surface {
+            file: file.into(),
+            item: SurfaceItem::Fn,
+            name: name.into(),
+            label: label.into(),
+        }
+    }
+
+    pub fn array(file: &str, name: &str, label: &str) -> Self {
+        Surface {
+            file: file.into(),
+            item: SurfaceItem::Const,
+            name: name.into(),
+            label: label.into(),
+        }
+    }
+}
+
+/// Configuration of the coverage analysis.
+#[derive(Debug, Clone)]
+pub struct CoverageConfig {
+    /// File declaring the schema enum.
+    pub enum_file: PathBuf,
+    /// The enum's name (`TraceKind`).
+    pub enum_name: String,
+    /// Surfaces that must reference every variant.
+    pub surfaces: Vec<Surface>,
+    /// Directories whose union must *emit* (reference) every variant;
+    /// empty disables the dead-code check.
+    pub emitter_dirs: Vec<PathBuf>,
+}
+
+impl CoverageConfig {
+    /// The real workspace schema: the `TraceKind` enum, both exporters,
+    /// the audit disposition, and the engine crates as emitters.
+    pub fn repo_default() -> Self {
+        CoverageConfig {
+            enum_file: "crates/obs/src/event.rs".into(),
+            enum_name: "TraceKind".into(),
+            surfaces: vec![
+                Surface::func(
+                    "crates/obs/src/event.rs",
+                    "name",
+                    "canonical kind names (TraceKind::name)",
+                ),
+                Surface::array(
+                    "crates/obs/src/event.rs",
+                    "ALL",
+                    "kind enumeration (TraceKind::ALL)",
+                ),
+                Surface::func(
+                    "crates/obs/src/export.rs",
+                    "chrome_cat",
+                    "Chrome-trace exporter categories (export::chrome_cat)",
+                ),
+                Surface::func(
+                    "crates/obs/src/export.rs",
+                    "jsonl_arg_key",
+                    "JSONL exporter arg keys (export::jsonl_arg_key)",
+                ),
+                Surface::func(
+                    "crates/obs/src/audit.rs",
+                    "disposition",
+                    "trace-audit reconciliation (audit::disposition)",
+                ),
+            ],
+            emitter_dirs: vec![
+                "crates/servers/src".into(),
+                "crates/cpu/src".into(),
+                "crates/tcp/src".into(),
+                "crates/workload/src".into(),
+                "crates/fault/src".into(),
+                "crates/core/src".into(),
+            ],
+        }
+    }
+}
+
+/// Per-surface outcome, for the machine-readable report.
+#[derive(Debug, Clone)]
+pub struct SurfaceCoverage {
+    pub label: String,
+    pub file: String,
+    /// Variants the surface does not reference.
+    pub missing: Vec<String>,
+    /// Referenced names that are not variants (stale arms).
+    pub stale: Vec<String>,
+    /// Lines of wildcard `_ =>` arms inside the surface.
+    pub wildcards: Vec<u32>,
+}
+
+/// Full coverage outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageSummary {
+    pub variants: Vec<String>,
+    pub surfaces: Vec<SurfaceCoverage>,
+    /// Variants no emitter directory references.
+    pub dead: Vec<String>,
+}
+
+/// Extracts the variant names of `enum <name> { ... }` from a token
+/// stream. Only unit variants are supported (the trace schema is `Copy`).
+fn enum_variants(tokens: &[Token], name: &str) -> Option<Vec<String>> {
+    let mut i = 0;
+    while i + 2 < tokens.len() {
+        if tokens[i].is_ident("enum") && tokens[i + 1].is_ident(name) && tokens[i + 2].is_punct('{')
+        {
+            let mut variants = Vec::new();
+            let mut depth = 1usize;
+            let mut expect = true;
+            let mut j = i + 3;
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].text {
+                    TokenText::Punct('{') | TokenText::Punct('(') | TokenText::Punct('[') => {
+                        depth += 1
+                    }
+                    TokenText::Punct('}') | TokenText::Punct(')') | TokenText::Punct(']') => {
+                        depth -= 1
+                    }
+                    TokenText::Punct(',') if depth == 1 => expect = true,
+                    TokenText::Punct('#') => {} // attribute on a variant
+                    TokenText::Ident(id) if depth == 1 && expect => {
+                        variants.push(id.clone());
+                        expect = false;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            return Some(variants);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Finds the token range of a surface item's body: `fn name ... { .. }`
+/// or `const name ... = [ .. ]`. Returns `(start, end, decl_line)` with
+/// `start..end` excluding the delimiters.
+fn item_body(tokens: &[Token], item: SurfaceItem, name: &str) -> Option<(usize, usize, u32)> {
+    let (kw, open, close) = match item {
+        SurfaceItem::Fn => ("fn", '{', '}'),
+        SurfaceItem::Const => ("const", '[', ']'),
+    };
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_ident(kw) && tokens[i + 1].is_ident(name) {
+            let decl_line = tokens[i].line;
+            let mut j = i + 2;
+            if item == SurfaceItem::Const {
+                // Skip the type annotation (`: [TraceKind; COUNT]`) to the
+                // `=` sign, tracking delimiter depth so array types don't
+                // masquerade as the initializer.
+                let mut depth = 0usize;
+                while j < tokens.len() {
+                    match &tokens[j].text {
+                        TokenText::Punct('[') | TokenText::Punct('(') | TokenText::Punct('{') => {
+                            depth += 1
+                        }
+                        TokenText::Punct(']') | TokenText::Punct(')') | TokenText::Punct('}') => {
+                            depth = depth.saturating_sub(1)
+                        }
+                        TokenText::Punct('=') if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // First opening delimiter after the declaration (or the `=`);
+            // parameter lists and return types in the configured surfaces
+            // contain no stray `{`.
+            while j < tokens.len() && !tokens[j].is_punct(open) {
+                j += 1;
+            }
+            if j == tokens.len() {
+                return None;
+            }
+            let start = j + 1;
+            let mut depth = 1usize;
+            let mut k = start;
+            while k < tokens.len() && depth > 0 {
+                if tokens[k].is_punct(open) {
+                    depth += 1;
+                } else if tokens[k].is_punct(close) {
+                    depth -= 1;
+                }
+                k += 1;
+            }
+            return Some((start, k.saturating_sub(1), decl_line));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// All `Enum::Variant` references in `tokens[range]`, plus wildcard-arm
+/// lines (`_ =>`).
+fn collect_refs(tokens: &[Token], enum_name: &str) -> (Vec<(String, u32)>, Vec<u32>) {
+    let mut refs = Vec::new();
+    let mut wildcards = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_ident(enum_name)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            if let Some(v) = tokens.get(i + 3).and_then(Token::ident) {
+                refs.push((v.to_string(), t.line));
+            }
+        }
+        if t.is_ident("_")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('='))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct('>'))
+        {
+            wildcards.push(t.line);
+        }
+    }
+    (refs, wildcards)
+}
+
+fn rel(path: &Path) -> String {
+    path.to_string_lossy().replace('\\', "/")
+}
+
+/// Runs the coverage analysis rooted at `root`. I/O failures (a missing
+/// surface file, an unparsable enum) are reported as diagnostics rather
+/// than errors: a schema the analyzer cannot see is a failed check.
+pub fn analyze(root: &Path, cfg: &CoverageConfig) -> (Vec<Diagnostic>, CoverageSummary) {
+    let mut diags = Vec::new();
+    let mut summary = CoverageSummary::default();
+
+    let enum_rel = rel(&cfg.enum_file);
+    let enum_src = match std::fs::read_to_string(root.join(&cfg.enum_file)) {
+        Ok(s) => s,
+        Err(e) => {
+            diags.push(Diagnostic::new(
+                &enum_rel,
+                0,
+                "trace-coverage",
+                format!("cannot read schema file: {e}"),
+            ));
+            return (diags, summary);
+        }
+    };
+    let enum_tokens = lex(&enum_src).tokens;
+    let Some(variants) = enum_variants(&enum_tokens, &cfg.enum_name) else {
+        diags.push(Diagnostic::new(
+            &enum_rel,
+            0,
+            "trace-coverage",
+            format!("enum {} not found", cfg.enum_name),
+        ));
+        return (diags, summary);
+    };
+    summary.variants = variants.clone();
+
+    for s in &cfg.surfaces {
+        let file_rel = rel(&s.file);
+        let mut cov = SurfaceCoverage {
+            label: s.label.clone(),
+            file: file_rel.clone(),
+            missing: Vec::new(),
+            stale: Vec::new(),
+            wildcards: Vec::new(),
+        };
+        let tokens = if s.file == cfg.enum_file {
+            enum_tokens.clone()
+        } else {
+            match std::fs::read_to_string(root.join(&s.file)) {
+                Ok(src) => lex(&src).tokens,
+                Err(e) => {
+                    diags.push(Diagnostic::new(
+                        &file_rel,
+                        0,
+                        "trace-coverage",
+                        format!("cannot read surface file for {}: {e}", s.label),
+                    ));
+                    continue;
+                }
+            }
+        };
+        let Some((start, end, decl_line)) = item_body(&tokens, s.item, &s.name) else {
+            diags.push(Diagnostic::new(
+                &file_rel,
+                0,
+                "trace-coverage",
+                format!("surface item `{}` not found ({})", s.name, s.label),
+            ));
+            continue;
+        };
+        let (refs, wildcards) = collect_refs(&tokens[start..end], &cfg.enum_name);
+        for v in &variants {
+            if !refs.iter().any(|(r, _)| r == v) {
+                diags.push(Diagnostic::new(
+                    &file_rel,
+                    decl_line,
+                    "trace-coverage",
+                    format!("{} does not handle {}::{v}", s.label, cfg.enum_name),
+                ));
+                cov.missing.push(v.clone());
+            }
+        }
+        for (r, line) in &refs {
+            if !variants.contains(r) {
+                diags.push(Diagnostic::new(
+                    &file_rel,
+                    *line,
+                    "trace-coverage",
+                    format!(
+                        "{} references {}::{r}, which is not a variant (stale arm?)",
+                        s.label, cfg.enum_name
+                    ),
+                ));
+                cov.stale.push(r.clone());
+            }
+        }
+        for line in wildcards {
+            diags.push(Diagnostic::new(
+                &file_rel,
+                line,
+                "trace-coverage",
+                format!(
+                    "wildcard `_ =>` arm inside {}: new {} variants would be \
+                     silently swallowed; write one arm per variant",
+                    s.label, cfg.enum_name
+                ),
+            ));
+            cov.wildcards.push(line);
+        }
+        summary.surfaces.push(cov);
+    }
+
+    if !cfg.emitter_dirs.is_empty() {
+        let mut emitted: Vec<(String, u32)> = Vec::new();
+        for dir in &cfg.emitter_dirs {
+            for f in crate::walk_rs_files(&root.join(dir)) {
+                if let Ok(src) = std::fs::read_to_string(&f) {
+                    let toks = lex(&src).tokens;
+                    let (refs, _) = collect_refs(&toks, &cfg.enum_name);
+                    emitted.extend(refs);
+                }
+            }
+        }
+        for v in &variants {
+            if !emitted.iter().any(|(r, _)| r == v) {
+                diags.push(Diagnostic::new(
+                    &enum_rel,
+                    0,
+                    "trace-coverage",
+                    format!(
+                        "dead trace code: no engine crate ever emits {}::{v}",
+                        cfg.enum_name
+                    ),
+                ));
+                summary.dead.push(v.clone());
+            }
+        }
+    }
+
+    (diags, summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_parse_from_a_real_shaped_enum() {
+        let src = "
+#[derive(Debug, Clone, Copy)]
+pub enum TraceKind {
+    /// doc
+    RequestArrive,
+    QueueEnter,
+    #[cfg(feature = \"x\")]
+    Weird,
+    Completion,
+}
+";
+        let toks = lex(src).tokens;
+        assert_eq!(
+            enum_variants(&toks, "TraceKind").unwrap(),
+            ["RequestArrive", "QueueEnter", "Weird", "Completion"]
+        );
+    }
+
+    #[test]
+    fn fn_and_const_bodies_are_located() {
+        let src = "
+impl TraceKind {
+    pub const ALL: [TraceKind; 2] = [TraceKind::A, TraceKind::B];
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::A => \"a\",
+            TraceKind::B => \"b\",
+        }
+    }
+}
+";
+        let toks = lex(src).tokens;
+        let (s, e, _) = item_body(&toks, SurfaceItem::Const, "ALL").unwrap();
+        let (refs, _) = collect_refs(&toks[s..e], "TraceKind");
+        assert_eq!(refs.len(), 2);
+        let (s, e, _) = item_body(&toks, SurfaceItem::Fn, "name").unwrap();
+        let (refs, w) = collect_refs(&toks[s..e], "TraceKind");
+        assert_eq!(refs.len(), 2);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn wildcard_arms_are_detected() {
+        let src = "fn f(k: K) -> u32 { match k { K::A => 1, _ => 0 } }";
+        let toks = lex(src).tokens;
+        let (s, e, _) = item_body(&toks, SurfaceItem::Fn, "f").unwrap();
+        let (_, w) = collect_refs(&toks[s..e], "K");
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,265 @@
+//! Diagnostics and the `detlint::allow` escape hatch.
+//!
+//! An allow annotation is a comment of the form
+//!
+//! ```text
+//! // detlint::allow(wall-clock, reason = "self-benchmark measures wall time")
+//! ```
+//!
+//! A standalone annotation (nothing but whitespace before it on its line)
+//! suppresses matching diagnostics on the next code line; a trailing
+//! annotation suppresses them on its own line. `detlint::allow-file(...)`
+//! suppresses a lint for the whole file. The `reason` string is mandatory
+//! and must be non-empty: an allowlist entry without a written
+//! justification is itself a violation (`bad-allow`), and an annotation
+//! that suppresses nothing is reported as `unused-allow` so stale entries
+//! cannot accumulate.
+
+use crate::lexer::{Comment, Token};
+
+/// One finding. `allowed` carries the justification when an allow
+/// annotation suppressed it (suppressed findings are retained in the
+/// machine-readable report; only *unallowed* ones fail the build).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Lint name (e.g. `hash-iter`, `trace-coverage`).
+    pub lint: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The allow annotation's reason, when suppressed.
+    pub allowed: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(file: &str, line: u32, lint: &str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            lint: lint.to_string(),
+            message: message.into(),
+            allowed: None,
+        }
+    }
+}
+
+/// A parsed allow annotation.
+#[derive(Debug)]
+struct Allow {
+    lint: String,
+    reason: String,
+    /// Line the annotation suppresses (`None` = whole file).
+    target: Option<u32>,
+    /// Line the annotation itself is written on.
+    line: u32,
+    used: bool,
+}
+
+/// The marker every annotation starts with.
+const MARKER: &str = "detlint::allow";
+
+/// Parses `name, reason = "..."` from the text between the parentheses.
+fn parse_args(args: &str) -> Result<(String, String), String> {
+    let (name, rest) = match args.split_once(',') {
+        Some((n, r)) => (n.trim(), r.trim()),
+        None => return Err("missing `, reason = \"...\"`".into()),
+    };
+    if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+        return Err(format!("bad lint name {name:?}"));
+    }
+    let rest = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim_start)
+        .ok_or("expected `reason = \"...\"`")?;
+    let inner = rest
+        .strip_prefix('"')
+        .and_then(|r| r.split_once('"'))
+        .map(|(inner, _)| inner)
+        .ok_or("reason must be a double-quoted string")?;
+    if inner.trim().is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    Ok((name.to_string(), inner.to_string()))
+}
+
+/// Applies allow annotations from `comments` to `raw` diagnostics.
+///
+/// `known_lints` is the set of suppressible lint names (a `bad-allow` is
+/// reported for annotations naming anything else). `tokens` is used to
+/// resolve which code line a standalone annotation targets.
+pub fn apply_allows(
+    file: &str,
+    comments: &[Comment],
+    tokens: &[Token],
+    known_lints: &[&str],
+    raw: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    for c in comments {
+        let Some(pos) = c.text.find(MARKER) else {
+            continue;
+        };
+        let rest = &c.text[pos + MARKER.len()..];
+        let (file_scope, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let parsed = rest
+            .strip_prefix('(')
+            .and_then(|r| r.split_once(')'))
+            .ok_or("missing parentheses".to_string())
+            .and_then(|(args, _)| parse_args(args));
+        match parsed {
+            Err(e) => out.push(Diagnostic::new(
+                file,
+                c.line,
+                "bad-allow",
+                format!("malformed detlint::allow annotation: {e}"),
+            )),
+            Ok((lint, reason)) => {
+                if !known_lints.contains(&lint.as_str()) {
+                    out.push(Diagnostic::new(
+                        file,
+                        c.line,
+                        "bad-allow",
+                        format!("detlint::allow names unknown lint {lint:?}"),
+                    ));
+                    continue;
+                }
+                let target = if file_scope {
+                    None
+                } else if c.standalone {
+                    // The next line holding any code token.
+                    tokens
+                        .iter()
+                        .map(|t| t.line)
+                        .find(|&l| l > c.line)
+                        .or(Some(u32::MAX))
+                } else {
+                    Some(c.line)
+                };
+                allows.push(Allow {
+                    lint,
+                    reason,
+                    target,
+                    line: c.line,
+                    used: false,
+                });
+            }
+        }
+    }
+
+    for mut d in raw {
+        let hit = allows
+            .iter_mut()
+            .find(|a| a.lint == d.lint && (a.target.is_none() || a.target == Some(d.line)));
+        if let Some(a) = hit {
+            a.used = true;
+            d.allowed = Some(a.reason.clone());
+        }
+        out.push(d);
+    }
+
+    for a in &allows {
+        if !a.used {
+            out.push(Diagnostic::new(
+                file,
+                a.line,
+                "unused-allow",
+                format!(
+                    "detlint::allow({}) suppresses nothing — remove it or move it next to the violation",
+                    a.lint
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const KNOWN: &[&str] = &["wall-clock", "hash-iter"];
+
+    fn check(src: &str, raw: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        apply_allows("f.rs", &lexed.comments, &lexed.tokens, KNOWN, raw)
+    }
+
+    #[test]
+    fn standalone_annotation_covers_next_code_line() {
+        let src = "\n// detlint::allow(wall-clock, reason = \"bench\")\nlet t = Instant::now();\n";
+        let out = check(src, vec![Diagnostic::new("f.rs", 3, "wall-clock", "x")]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].allowed.as_deref(), Some("bench"));
+    }
+
+    #[test]
+    fn trailing_annotation_covers_its_own_line() {
+        let src = "let t = Instant::now(); // detlint::allow(wall-clock, reason = \"bench\")\n";
+        let out = check(src, vec![Diagnostic::new("f.rs", 1, "wall-clock", "x")]);
+        assert_eq!(out[0].allowed.as_deref(), Some("bench"));
+    }
+
+    #[test]
+    fn annotation_does_not_leak_past_its_target_line() {
+        let src = "// detlint::allow(wall-clock, reason = \"one\")\nfirst();\nsecond();\n";
+        let out = check(
+            src,
+            vec![
+                Diagnostic::new("f.rs", 2, "wall-clock", "x"),
+                Diagnostic::new("f.rs", 3, "wall-clock", "x"),
+            ],
+        );
+        assert_eq!(out[0].allowed.as_deref(), Some("one"));
+        assert!(out[1].allowed.is_none());
+    }
+
+    #[test]
+    fn file_scope_annotation_covers_everything() {
+        let src = "// detlint::allow-file(hash-iter, reason = \"scratch\")\na();\nb();\n";
+        let out = check(
+            src,
+            vec![
+                Diagnostic::new("f.rs", 2, "hash-iter", "x"),
+                Diagnostic::new("f.rs", 3, "hash-iter", "x"),
+            ],
+        );
+        assert!(out.iter().all(|d| d.allowed.is_some()));
+    }
+
+    #[test]
+    fn missing_reason_unknown_lint_and_unused_are_reported() {
+        let src = "\
+// detlint::allow(wall-clock)
+// detlint::allow(wall-clock, reason = \"\")
+// detlint::allow(no-such-lint, reason = \"r\")
+// detlint::allow(hash-iter, reason = \"never fires\")
+code();
+";
+        let out = check(src, vec![]);
+        let lints: Vec<&str> = out.iter().map(|d| d.lint.as_str()).collect();
+        assert_eq!(
+            lints,
+            ["bad-allow", "bad-allow", "bad-allow", "unused-allow"]
+        );
+    }
+
+    #[test]
+    fn wrong_lint_name_does_not_suppress() {
+        let src = "// detlint::allow(hash-iter, reason = \"r\")\nlet t = Instant::now();\n";
+        let out = check(src, vec![Diagnostic::new("f.rs", 2, "wall-clock", "x")]);
+        let wall: Vec<_> = out.iter().filter(|d| d.lint == "wall-clock").collect();
+        assert!(wall[0].allowed.is_none());
+        assert!(out.iter().any(|d| d.lint == "unused-allow"));
+    }
+}

@@ -1,0 +1,62 @@
+//! The `detlint` CLI.
+//!
+//! ```sh
+//! cargo run -p detlint -- check                       # human-readable
+//! cargo run -p detlint -- check --json report.json    # + JSON artifact
+//! cargo run -p detlint -- check --root /path/to/repo  # explicit root
+//! ```
+//!
+//! Exit status: 0 when the workspace is clean (every finding allowlisted
+//! with a written reason and the trace schema fully covered), 1 on any
+//! violation, 2 on usage errors.
+
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: detlint check [--json <path>] [--root <dir>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else { usage() };
+    if cmd != "check" {
+        eprintln!("unknown command {cmd:?}");
+        usage();
+    }
+    let mut json_out: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_out = Some(args.next().map(PathBuf::from).unwrap_or_else(|| usage())),
+            "--root" => root = Some(args.next().map(PathBuf::from).unwrap_or_else(|| usage())),
+            _ => {
+                eprintln!("unknown argument {a:?}");
+                usage();
+            }
+        }
+    }
+    let root = root
+        .or_else(|| {
+            let cwd = std::env::current_dir().ok()?;
+            detlint::find_workspace_root(&cwd)
+        })
+        .unwrap_or_else(|| {
+            eprintln!("error: no workspace root found (pass --root)");
+            std::process::exit(2);
+        });
+
+    let report = detlint::run_check(&root, &detlint::WorkspaceConfig::repo_default());
+    print!("{}", report.render_text());
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("wrote {}", path.display());
+    }
+    if !report.clean() {
+        eprintln!("detlint: FAILED — fix the violations or allowlist them with a reason");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Mutation tests for the trace-schema coverage analyzer: deleting a
+//! `TraceKind` match arm from any exporter surface or from the audit
+//! disposition must fail the analysis, and a wildcard arm is flagged even
+//! though it would satisfy rustc's exhaustiveness check. The real
+//! workspace files are copied into a scratch tree and mutated there.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use detlint::coverage::{analyze, CoverageConfig};
+
+const FILES: &[&str] = &[
+    "crates/obs/src/event.rs",
+    "crates/obs/src/export.rs",
+    "crates/obs/src/audit.rs",
+];
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join(tag);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("crates/obs/src")).unwrap();
+    let root = workspace_root();
+    for f in FILES {
+        fs::copy(root.join(f), dir.join(f)).unwrap();
+    }
+    dir
+}
+
+fn config() -> CoverageConfig {
+    CoverageConfig {
+        // The scratch tree holds only the obs files, no engine crates.
+        emitter_dirs: Vec::new(),
+        ..CoverageConfig::repo_default()
+    }
+}
+
+/// Removes every match arm / array entry referencing `TraceKind::Retry`,
+/// tracking brace depth so the audit's multi-line arm is removed whole.
+fn delete_retry(src: &str) -> String {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut skipping = false;
+    for line in src.lines() {
+        let net = line.matches('{').count() as i32 - line.matches('}').count() as i32;
+        if skipping {
+            depth += net;
+            if depth <= 0 {
+                skipping = false;
+            }
+            continue;
+        }
+        if line.contains("TraceKind::Retry") {
+            if net > 0 {
+                skipping = true;
+                depth = net;
+            }
+            continue;
+        }
+        out.push(line);
+    }
+    out.join("\n") + "\n"
+}
+
+#[test]
+fn baseline_scratch_tree_passes() {
+    let dir = scratch("covmut-baseline");
+    let (diags, summary) = analyze(&dir, &config());
+    assert!(diags.is_empty(), "{diags:?}");
+    assert!(summary.variants.contains(&"Retry".to_string()));
+}
+
+#[test]
+fn deleting_an_arm_from_any_surface_fails_the_analyzer() {
+    for (i, file) in FILES.iter().enumerate() {
+        let dir = scratch(&format!("covmut-arm-{i}"));
+        let path = dir.join(file);
+        let orig = fs::read_to_string(&path).unwrap();
+        let mutated = delete_retry(&orig);
+        assert_ne!(orig, mutated, "{file}: mutation must change the file");
+        fs::write(&path, mutated).unwrap();
+        let (diags, _) = analyze(&dir, &config());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.lint == "trace-coverage" && d.message.contains("Retry")),
+            "{file}: analyzer missed the deleted arm: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn replacing_an_arm_with_a_wildcard_is_flagged() {
+    let dir = scratch("covmut-wildcard");
+    let path = dir.join("crates/obs/src/export.rs");
+    let orig = fs::read_to_string(&path).unwrap();
+    let mutated = orig.replace(
+        "TraceKind::Retry => Some(\"backoff_ns\"),",
+        "_ => Some(\"backoff_ns\"),",
+    );
+    assert_ne!(orig, mutated, "the jsonl_arg_key Retry arm moved?");
+    fs::write(&path, mutated).unwrap();
+    let (diags, _) = analyze(&dir, &config());
+    assert!(
+        diags.iter().any(|d| d.message.contains("wildcard")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("Retry")),
+        "{diags:?}"
+    );
+}

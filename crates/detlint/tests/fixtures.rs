@@ -1,0 +1,72 @@
+//! Fixture-based end-to-end tests of the determinism lints and the allow
+//! machinery. Each file under `fixtures/bad/` annotates its violations
+//! with `//~ lint-name` markers (several space-separated names when one
+//! line fires more than one lint); the analyzer must produce exactly the
+//! marked set. Files under `fixtures/good/` must produce zero violations
+//! — `allowed.rs` while firing (and suppressing) every lint, `clean.rs`
+//! without firing at all.
+
+use std::path::Path;
+
+use detlint::diag::apply_allows;
+use detlint::lints::{lint_names, lint_source, LintOptions};
+use detlint::Diagnostic;
+
+fn analyze(name: &str) -> (String, Vec<Diagnostic>) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let (raw, lexed) = lint_source(name, &src, &LintOptions::default());
+    let diags = apply_allows(name, &lexed.comments, &lexed.tokens, &lint_names(), raw);
+    (src, diags)
+}
+
+/// Collects the `//~ lint-name` expectations: `(line, lint)` pairs.
+fn expected(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("//~") {
+            for lint in line[pos + 3..].split_whitespace() {
+                out.push((i as u32 + 1, lint.to_string()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn bad_fixtures_fire_exactly_the_marked_diagnostics() {
+    for name in ["bad/determinism.rs", "bad/bad_allows.rs"] {
+        let (src, diags) = analyze(name);
+        let want = expected(&src);
+        assert!(!want.is_empty(), "{name}: fixture carries no markers");
+        let mut got: Vec<(u32, String)> = diags
+            .iter()
+            .filter(|d| d.allowed.is_none())
+            .map(|d| (d.line, d.lint.clone()))
+            .collect();
+        got.sort();
+        assert_eq!(got, want, "{name}: diagnostics do not match the markers");
+    }
+}
+
+#[test]
+fn clean_fixture_produces_no_diagnostics_at_all() {
+    let (_, diags) = analyze("good/clean.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn allowed_fixture_fires_every_lint_and_suppresses_every_site() {
+    let (_, diags) = analyze("good/allowed.rs");
+    let violations: Vec<_> = diags.iter().filter(|d| d.allowed.is_none()).collect();
+    assert!(violations.is_empty(), "{violations:?}");
+    for (lint, _) in detlint::LINTS {
+        assert!(
+            diags.iter().any(|d| &d.lint == lint && d.allowed.is_some()),
+            "{lint} should fire and be allowlisted in the fixture"
+        );
+    }
+}

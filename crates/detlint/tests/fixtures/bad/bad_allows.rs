@@ -1,0 +1,14 @@
+//! Known-bad fixture: broken allow annotations are violations themselves,
+//! and an annotation cannot rescue a violation on a different line.
+
+// detlint::allow(wall-clock) //~ bad-allow
+// detlint::allow(wall-clock, reason = "") //~ bad-allow
+// detlint::allow(no-such-lint, reason = "typo in the lint name") //~ bad-allow
+// detlint::allow(hash-iter, reason = "nothing here touches a hash container") //~ unused-allow
+fn annotated() {}
+
+// detlint::allow(wall-clock, reason = "this targets the fn line, not the body") //~ unused-allow
+fn mistargeted() {
+    let t = std::time::Instant::now(); //~ wall-clock
+    drop(t);
+}

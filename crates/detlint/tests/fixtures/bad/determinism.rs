@@ -1,0 +1,32 @@
+//! Known-bad fixture: every determinism lint fires, and each offending
+//! line carries a tilde marker naming the expected diagnostic. This file
+//! is never compiled — the harness in `../../fixtures.rs` feeds it to the
+//! analyzer as text.
+
+use std::collections::HashMap; //~ hash-iter
+use std::collections::HashSet; //~ hash-iter
+
+fn timings() {
+    let t0 = std::time::Instant::now(); //~ wall-clock
+    let wall = SystemTime::now(); //~ wall-clock
+    drop((t0, wall));
+}
+
+fn entropy() {
+    let mut rng = rand::thread_rng(); //~ ambient-rng
+    let seeded = SmallRng::from_entropy(); //~ ambient-rng
+    let os = OsRng; //~ ambient-rng
+    let byte: u8 = rand::random(); //~ ambient-rng
+    drop((rng, seeded, os, byte));
+}
+
+fn rogue_threads() {
+    std::thread::spawn(|| {}); //~ thread-spawn
+    std::thread::scope(|s| drop(s)); //~ thread-spawn
+}
+
+fn unstable_total(weights: HashMap<u32, f64>) -> f64 { //~ hash-iter
+    drop(weights);
+    let total: f64 = HashSet::from([1.0f64]).iter().sum(); //~ hash-iter unordered-float-reduce
+    total
+}

@@ -1,0 +1,30 @@
+//! Known-good fixture: every determinism lint fires here, and every site
+//! carries a justified allow annotation — the analyzer must report zero
+//! violations while retaining each finding as `allowed`.
+
+use std::collections::HashMap; // detlint::allow(hash-iter, reason = "fixture: trailing annotation form")
+
+// detlint::allow-file(thread-spawn, reason = "fixture: file-scoped annotation form")
+
+fn timing() {
+    // detlint::allow(wall-clock, reason = "fixture: standalone annotation form")
+    let t0 = std::time::Instant::now();
+    drop(t0);
+}
+
+fn entropy() {
+    let r = rand::thread_rng(); // detlint::allow(ambient-rng, reason = "fixture: a seeded Rng replaces this in real code")
+    drop(r);
+}
+
+fn rogue() {
+    std::thread::spawn(|| {});
+    std::thread::scope(|s| drop(s));
+}
+
+fn reduce(pairs: [(u32, f64); 3]) -> f64 {
+    // detlint::allow(hash-iter, reason = "fixture: hash container feeding a float reduction")
+    // detlint::allow(unordered-float-reduce, reason = "fixture: both lints on one line need two annotations")
+    let total: f64 = HashMap::from(pairs).values().sum();
+    total
+}

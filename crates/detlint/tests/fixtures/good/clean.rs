@@ -1,0 +1,32 @@
+//! Known-good fixture: constructs that superficially resemble hazards but
+//! are deterministic. The lexer must stay truthful about comments, strings
+//! and lookalike identifiers — nothing in this file may fire.
+
+use std::collections::BTreeMap;
+
+/// Doc comments may mention HashMap, HashSet, Instant::now() and
+/// thread_rng() freely; prose is not code.
+fn documented() {}
+
+fn strings() -> String {
+    let plain = "HashMap::new() SystemTime::now() rand::random()";
+    let raw = r#"thread_rng " from_entropy OsRng"#;
+    let escaped = "std::thread::spawn(\"not code\")";
+    format!("{plain}{raw}{escaped}")
+}
+
+fn lookalikes(instant: &Clock, stopwatch: &Stopwatch) -> u64 {
+    let a = instant.now; // a field named `now`, not Instant::now()
+    let b = stopwatch.now(); // a method named `now` on a non-clock type
+    let spawned = spawn_worker("not an OS thread");
+    thread::sleep(Duration::from_millis(1)); // sleep is not spawn
+    a + b + spawned
+}
+
+fn ordered_reduce(m: &BTreeMap<u32, f64>) -> f64 {
+    m.values().sum() // ordered container: reduction order is stable
+}
+
+fn lifetimes_vs_chars<'a>(s: &'a str) -> (char, &'a str) {
+    ('x', s)
+}

@@ -1,0 +1,25 @@
+//! The workspace must pass its own static-analysis gate: this is the test
+//! that keeps `cargo test` equivalent to `cargo run -p detlint -- check`.
+
+use std::path::Path;
+
+use detlint::{run_check, WorkspaceConfig};
+
+#[test]
+fn workspace_is_clean_under_its_own_gate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run_check(&root, &WorkspaceConfig::repo_default());
+    assert!(report.clean(), "\n{}", report.render_text());
+    assert!(
+        report.files_scanned > 50,
+        "scanned only {} files — scope misconfigured?",
+        report.files_scanned
+    );
+    let cov = report.coverage.as_ref().expect("coverage analysis ran");
+    assert!(cov.variants.len() >= 16, "TraceKind lost variants?");
+    assert_eq!(cov.surfaces.len(), 5, "a coverage surface was dropped");
+    assert!(cov.dead.is_empty(), "dead trace codes: {:?}", cov.dead);
+    // The justified waivers (bench wall-clocks, the cross-thread
+    // determinism test) must stay visible in the report, not vanish.
+    assert!(report.allowed().count() >= 2);
+}

@@ -179,8 +179,9 @@ mod tests {
         for (i, k) in TraceKind::ALL.iter().enumerate() {
             assert_eq!(k.index(), i);
         }
-        let names: std::collections::HashSet<_> =
-            TraceKind::ALL.iter().map(|k| k.name()).collect();
+        let mut names: Vec<_> = TraceKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
         assert_eq!(names.len(), TraceKind::COUNT, "names must be unique");
     }
 

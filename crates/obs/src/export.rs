@@ -1,9 +1,17 @@
 //! Trace exporters: Chrome trace-event JSON (Perfetto / `about:tracing`)
 //! and JSON Lines.
+//!
+//! Each exporter handles every [`TraceKind`] variant explicitly —
+//! [`chrome_cat`] assigns the Chrome-trace category and [`jsonl_arg_key`]
+//! the semantic JSONL payload key. Both matches are exhaustive on purpose
+//! and carry no wildcard arm: `detlint`'s trace-schema coverage analyzer
+//! (`docs/static-analysis.md`) checks them against the enum, so a new
+//! trace code cannot ship without both exporters deciding how to render
+//! it.
 
 use serde::Value;
 
-use crate::event::{TraceEvent, NONE};
+use crate::event::{TraceEvent, TraceKind, NONE};
 use crate::observer::Recorder;
 
 /// Synthetic Chrome-trace `tid` for events with no simulated thread
@@ -21,6 +29,54 @@ fn chrome_tid(ev: &TraceEvent) -> u64 {
     }
 }
 
+/// The Chrome-trace `cat` (category) the exporter files each kind under,
+/// so Perfetto's category filter can isolate one subsystem's events.
+pub fn chrome_cat(kind: TraceKind) -> &'static str {
+    match kind {
+        TraceKind::RequestArrive => "engine",
+        TraceKind::QueueEnter => "queue",
+        TraceKind::QueueExit => "queue",
+        TraceKind::ThreadDispatch => "sched",
+        TraceKind::ThreadPark => "sched",
+        TraceKind::WriteCall => "tcp",
+        TraceKind::WriteSpin => "tcp",
+        TraceKind::SendBufDrain => "tcp",
+        TraceKind::Completion => "engine",
+        TraceKind::Mark => "mark",
+        TraceKind::FaultInject => "fault",
+        TraceKind::ClientTimeout => "client",
+        TraceKind::Retry => "client",
+        TraceKind::Abandon => "client",
+        TraceKind::Shed => "server",
+        TraceKind::Rejected => "server",
+    }
+}
+
+/// The semantic JSONL key the kind's `arg` payload is exported under
+/// (`docs/observability.md` documents the per-kind meaning); `None` keeps
+/// the generic `arg` for payloads that are plain codes or counts without a
+/// better name.
+pub fn jsonl_arg_key(kind: TraceKind) -> Option<&'static str> {
+    match kind {
+        TraceKind::RequestArrive => None,
+        TraceKind::QueueEnter => Some("item"),
+        TraceKind::QueueExit => Some("item"),
+        TraceKind::ThreadDispatch => Some("migrated"),
+        TraceKind::ThreadPark => None,
+        TraceKind::WriteCall => Some("bytes"),
+        TraceKind::WriteSpin => None,
+        TraceKind::SendBufDrain => Some("free_bytes"),
+        TraceKind::Completion => Some("rt_ns"),
+        TraceKind::Mark => Some("code"),
+        TraceKind::FaultInject => Some("code"),
+        TraceKind::ClientTimeout => Some("attempt"),
+        TraceKind::Retry => Some("backoff_ns"),
+        TraceKind::Abandon => Some("attempts"),
+        TraceKind::Shed => Some("code"),
+        TraceKind::Rejected => Some("since_send_ns"),
+    }
+}
+
 /// Renders the recorder's trace as Chrome trace-event JSON.
 ///
 /// Layout: one metadata (`"ph":"M"`) `thread_name` record per simulated
@@ -28,7 +84,8 @@ fn chrome_tid(ev: &TraceEvent) -> u64 {
 /// (`"ph":"i"`) event per retained trace event, with the structured fields
 /// in `args`. Timestamps are microseconds of virtual time.
 pub fn chrome_trace_json(rec: &Recorder) -> String {
-    let mut events: Vec<Value> = Vec::with_capacity(rec.ring().len() + rec.thread_names().len() + 1);
+    let mut events: Vec<Value> =
+        Vec::with_capacity(rec.ring().len() + rec.thread_names().len() + 1);
     let meta = |tid: u64, name: &str| {
         Value::Map(vec![
             ("name".into(), Value::Str("thread_name".into())),
@@ -64,6 +121,7 @@ pub fn chrome_trace_json(rec: &Recorder) -> String {
         args.push(("arg".into(), Value::UInt(ev.arg)));
         events.push(Value::Map(vec![
             ("name".into(), Value::Str(ev.kind.name().into())),
+            ("cat".into(), Value::Str(chrome_cat(ev.kind).into())),
             ("ph".into(), Value::Str("i".into())),
             ("s".into(), Value::Str("t".into())),
             ("pid".into(), Value::UInt(TRACE_PID)),
@@ -84,7 +142,8 @@ pub fn chrome_trace_json(rec: &Recorder) -> String {
 
 /// Renders the recorder's trace as JSON Lines: one compact object per
 /// event, fields `t_ns`, `kind`, and (when present) `conn`, `thread`,
-/// `class`, `req`, `arg`.
+/// `class`, `req`, plus the kind's payload under its semantic key from
+/// [`jsonl_arg_key`] (falling back to the generic `arg`).
 pub fn jsonl(rec: &Recorder) -> String {
     let mut out = String::new();
     for ev in rec.events() {
@@ -104,7 +163,8 @@ pub fn jsonl(rec: &Recorder) -> String {
         if ev.req != 0 {
             m.push(("req".into(), Value::UInt(ev.req)));
         }
-        m.push(("arg".into(), Value::UInt(ev.arg)));
+        let key = jsonl_arg_key(ev.kind).unwrap_or("arg");
+        m.push((key.into(), Value::UInt(ev.arg)));
         out.push_str(&serde_json::to_string(&Value::Map(m)).expect("event serializes"));
         out.push('\n');
     }
@@ -119,8 +179,7 @@ pub fn jsonl(rec: &Recorder) -> String {
 /// `scripts/smoke.sh` runs this (via `trace_audit --validate`) against a
 /// freshly exported trace, so accidental schema drift fails CI.
 pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
-    let root: Value =
-        serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let root: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
     let events = root
         .get("traceEvents")
         .ok_or("missing traceEvents key")?
@@ -149,6 +208,9 @@ pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
                     Some(Value::Float(_)) | Some(Value::UInt(_)) | Some(Value::Int(_)) => {}
                     _ => return Err(format!("event {i}: instant without numeric ts")),
                 }
+                if !matches!(ev.get("cat"), Some(Value::Str(_))) {
+                    return Err(format!("event {i}: instant without category"));
+                }
                 instants += 1;
             }
             other => return Err(format!("event {i}: unexpected phase {other:?}")),
@@ -175,7 +237,9 @@ mod tests {
         r.thread_name(0, "reactor");
         r.thread_name(1, "worker-0");
         r.record(
-            TraceEvent::new(SimTime::from_micros(1), TraceKind::RequestArrive).conn(0).class(0),
+            TraceEvent::new(SimTime::from_micros(1), TraceKind::RequestArrive)
+                .conn(0)
+                .class(0),
         );
         r.record(
             TraceEvent::new(SimTime::from_micros(2), TraceKind::QueueExit)
@@ -238,6 +302,38 @@ mod tests {
             assert!(v.get("kind").is_some());
             assert!(v.get("t_ns").is_some());
         }
+    }
+
+    #[test]
+    fn every_kind_has_a_category_and_arg_keys_are_semantic() {
+        let cats = [
+            "engine", "queue", "sched", "tcp", "client", "server", "fault", "mark",
+        ];
+        for k in TraceKind::ALL {
+            assert!(cats.contains(&chrome_cat(k)), "unknown category for {k:?}");
+        }
+        assert_eq!(jsonl_arg_key(TraceKind::Completion), Some("rt_ns"));
+        assert_eq!(
+            jsonl_arg_key(TraceKind::WriteSpin),
+            None,
+            "spin payload stays generic"
+        );
+    }
+
+    #[test]
+    fn jsonl_uses_semantic_arg_keys() {
+        let text = sample_recorder().jsonl();
+        let lines: Vec<Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        // RequestArrive has no semantic key -> generic `arg`.
+        assert!(lines[0].get("arg").is_some());
+        // QueueExit carries its item code as `item`.
+        assert!(lines[1].get("item").is_some());
+        assert!(lines[1].get("arg").is_none());
+        // Completion's payload is the response time.
+        assert_eq!(lines[2].get("rt_ns"), Some(&Value::UInt(8_000)));
     }
 
     #[test]

@@ -155,7 +155,7 @@ mod tests {
         for v in [3, 100, 1_000_000, 123_456_789_000] {
             h.record(v);
         }
-        assert_eq!(h.quantile(1.0), 123_456_789_000 );
+        assert_eq!(h.quantile(1.0), 123_456_789_000);
         assert!(h.quantile(0.5) <= h.max());
         assert_eq!(h.min(), 3);
     }

@@ -47,7 +47,7 @@ mod observer;
 mod registry;
 mod ring;
 
-pub use audit::{audit, AuditCheck, AuditReport};
+pub use audit::{audit, disposition, AuditCheck, AuditReport, Disposition};
 pub use event::{TraceEvent, TraceKind, NONE};
 pub use hist::LogHistogram;
 pub use observer::{NoopObserver, Observer, Recorder};

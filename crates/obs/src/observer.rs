@@ -213,9 +213,7 @@ impl Observer for Recorder {
             _ => {}
         }
         if ev.kind == TraceKind::Completion
-            && self
-                .window
-                .is_none_or(|(s, e)| ev.time >= s && ev.time < e)
+            && self.window.is_none_or(|(s, e)| ev.time >= s && ev.time < e)
         {
             self.completions_in_window += 1;
         }
@@ -304,9 +302,22 @@ mod tests {
         r.record(TraceEvent::new(at(3), TraceKind::QueueEnter).conn(2));
         assert_eq!(r.queue_depth_peak(), 2);
         assert_eq!(r.registry().gauge("queue_depth_peak"), Some(2.0));
-        r.record(TraceEvent::new(at(4), TraceKind::Completion).conn(0).class(1).arg(500));
-        r.record(TraceEvent::new(at(5), TraceKind::Completion).conn(1).class(1).arg(700));
-        let h = r.registry().hist("rt_ns_class_1").expect("per-class histogram");
+        r.record(
+            TraceEvent::new(at(4), TraceKind::Completion)
+                .conn(0)
+                .class(1)
+                .arg(500),
+        );
+        r.record(
+            TraceEvent::new(at(5), TraceKind::Completion)
+                .conn(1)
+                .class(1)
+                .arg(700),
+        );
+        let h = r
+            .registry()
+            .hist("rt_ns_class_1")
+            .expect("per-class histogram");
         assert_eq!(h.count(), 2);
     }
 

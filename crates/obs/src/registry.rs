@@ -144,8 +144,14 @@ mod tests {
             r.hist_record("rt_ns", v * 1000);
         }
         let v: Value = serde_json::from_str(&r.to_json()).expect("valid JSON");
-        assert_eq!(v.get("counters").and_then(|c| c.get("completions")), Some(&Value::UInt(100)));
-        let h = v.get("histograms").and_then(|h| h.get("rt_ns")).expect("hist");
+        assert_eq!(
+            v.get("counters").and_then(|c| c.get("completions")),
+            Some(&Value::UInt(100))
+        );
+        let h = v
+            .get("histograms")
+            .and_then(|h| h.get("rt_ns"))
+            .expect("hist");
         assert_eq!(h.get("count"), Some(&Value::UInt(100)));
         assert!(h.get("p99").is_some());
     }

@@ -74,7 +74,9 @@ impl TraceRing {
 
     /// Retained events, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
     }
 
     /// Number of retained events.

@@ -3,15 +3,22 @@
 #
 #   scripts/smoke.sh
 #
-# Builds release binaries, runs the full test suite, reproduces every
-# paper artifact at Quick fidelity through the parallel cell runner, and
-# checks that the Criterion benches still compile.
+# Builds release binaries, runs the static-analysis gate (detlint + the
+# clippy mirror), runs the full test suite, reproduces every paper
+# artifact at Quick fidelity through the parallel cell runner, and checks
+# that the Criterion benches still compile.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release) =="
 cargo build --release
+
+echo "== static analysis: detlint (determinism + trace-schema coverage) =="
+cargo run --release -p detlint -- check --json detlint-report.json
+
+echo "== static analysis: clippy mirror (disallowed methods/types) =="
+cargo clippy -q --workspace --all-targets
 
 echo "== tests =="
 cargo test -q

@@ -46,6 +46,7 @@ fn empty_plan_is_identity_on_every_architecture() {
 /// The same faulted configuration run on different OS threads produces the
 /// same summary as on the main thread: no ambient state feeds the engine.
 #[test]
+#[allow(clippy::disallowed_methods)]
 fn faulted_run_is_identical_across_os_threads() {
     let mk = || {
         let mut cfg = cell();
@@ -72,6 +73,7 @@ fn faulted_run_is_identical_across_os_threads() {
     };
     let main = Experiment::new(mk()).run(ServerKind::NettyLike);
     let handles: Vec<_> = (0..2)
+        // detlint::allow(thread-spawn, reason = "spawning real OS threads is the subject under test: the engine must be identical across them")
         .map(|_| std::thread::spawn(move || Experiment::new(mk()).run(ServerKind::NettyLike)))
         .collect();
     for h in handles {
