@@ -1,0 +1,338 @@
+//! **fleet** — balancer × shard-count × fault-intensity sweep (extension
+//! beyond the paper): a cluster of server-under-test shards behind a
+//! pluggable balancer, with hedged requests and cross-shard retries.
+//!
+//! The default sweep runs every balancer policy over several fleet sizes
+//! and brownout intensities and reports goodput, tail latency, route
+//! spread and the hedge/retry traffic. With `--scenario` it instead runs
+//! the checked-in brownout scenario three ways — fault-free baseline,
+//! budgeted retries + hedging, unbudgeted retries — to demonstrate the
+//! headline result: a retry budget of 0.1 plus hedging *contains* a
+//! single-shard brownout (goodput loss < 1/N), while unbudgeted
+//! cross-shard retries propagate it fleet-wide.
+//!
+//! ```sh
+//! cargo run --release -p asyncinv-bench --bin fleet             # full sweep
+//! cargo run --release -p asyncinv-bench --bin fleet -- --quick  # smoke
+//! cargo run --release -p asyncinv-bench --bin fleet -- \
+//!     --scenario scenarios/shard_brownout.json       # containment demo
+//! cargo run --release -p asyncinv-bench --bin fleet -- \
+//!     --json fleet.json                              # machine-readable sweep
+//! ```
+//!
+//! All runs are seeded and deterministic. The `--scenario` run is traced
+//! and reconciled through [`fleet_audit`]; an audit failure exits 1.
+
+use asyncinv::fault::{FaultEvent, FaultKind, FaultPlan};
+use asyncinv::fleet::{
+    fleet_audit, BalancerKind, Cluster, FleetConfig, FleetScenario, FleetSummary, ShardFault,
+};
+use asyncinv::{fmt_f64, ExperimentConfig, ServerKind, SimDuration, Table};
+use asyncinv_bench::{banner, fidelity_from_args, print_and_export};
+use serde::Serialize;
+
+/// One sweep point, also exported with `--json`.
+#[derive(Debug, Serialize)]
+struct SweepRow {
+    balancer: String,
+    shards: usize,
+    slowdown: f64,
+    goodput: f64,
+    p99_ms: f64,
+    route_spread: f64,
+    hedges: u64,
+    hedge_cancels: u64,
+    shard_retries: u64,
+    timeouts: u64,
+    retries: u64,
+}
+
+/// max/min per-shard route share — 1.0 is a perfectly even spread.
+fn route_spread(summary: &FleetSummary) -> f64 {
+    let routes: Vec<u64> = summary.per_shard.iter().map(|s| s.routes).collect();
+    let max = routes.iter().copied().max().unwrap_or(0);
+    let min = routes.iter().copied().min().unwrap_or(0);
+    if min == 0 {
+        f64::INFINITY
+    } else {
+        max as f64 / min as f64
+    }
+}
+
+fn sweep_cell(quick: bool) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::micro(64, 10 * 1024);
+    cfg.warmup = SimDuration::from_millis(200);
+    cfg.measure = SimDuration::from_millis(if quick { 500 } else { 1500 });
+    cfg.retry = asyncinv::workload::RetryPolicy {
+        timeout: Some(SimDuration::from_millis(30)),
+        max_retries: 3,
+        budget_ratio: 0.1,
+        ..asyncinv::workload::RetryPolicy::default()
+    };
+    cfg
+}
+
+fn brownout(cfg: &ExperimentConfig, shard: usize, factor: f64) -> ShardFault {
+    ShardFault {
+        shard,
+        plan: FaultPlan {
+            seed: 7,
+            events: vec![FaultEvent {
+                at: cfg.warmup + cfg.measure / 4,
+                fault: FaultKind::Slowdown {
+                    factor,
+                    duration: Some(cfg.measure / 4),
+                },
+            }],
+        },
+    }
+}
+
+fn run_point(
+    cell: &ExperimentConfig,
+    balancer: BalancerKind,
+    shards: usize,
+    factor: f64,
+    kind: ServerKind,
+) -> SweepRow {
+    let mut cfg = FleetConfig::new(cell.clone(), shards, balancer);
+    cfg.hedge = Some(asyncinv::fleet::HedgeConfig::default());
+    if factor > 1.0 {
+        cfg.shard_faults = vec![brownout(cell, 0, factor)];
+    }
+    let summary = Cluster::new(cfg).run(kind);
+    SweepRow {
+        balancer: balancer.name().into(),
+        shards,
+        slowdown: factor,
+        goodput: summary.fleet.throughput,
+        p99_ms: summary.fleet.p99_rt_us as f64 / 1e3,
+        route_spread: route_spread(&summary),
+        hedges: summary.fleet.hedges,
+        hedge_cancels: summary.fleet.hedge_cancels,
+        shard_retries: summary.fleet.shard_retries,
+        timeouts: summary.fleet.timeouts,
+        retries: summary.fleet.retries,
+    }
+}
+
+fn sweep_table(rows: &[SweepRow]) -> Table {
+    let mut t = Table::new(vec![
+        "balancer".into(),
+        "shards".into(),
+        "slow x".into(),
+        "goodput[req/s]".into(),
+        "p99[ms]".into(),
+        "spread".into(),
+        "hedges".into(),
+        "cancels".into(),
+        "x-shard retries".into(),
+        "timeouts".into(),
+        "retries".into(),
+    ]);
+    t.numeric();
+    for r in rows {
+        t.row(vec![
+            r.balancer.clone(),
+            r.shards.to_string(),
+            fmt_f64(r.slowdown, 0),
+            fmt_f64(r.goodput, 1),
+            fmt_f64(r.p99_ms, 2),
+            if r.route_spread.is_finite() {
+                fmt_f64(r.route_spread, 2)
+            } else {
+                "inf".into()
+            },
+            r.hedges.to_string(),
+            r.hedge_cancels.to_string(),
+            r.shard_retries.to_string(),
+            r.timeouts.to_string(),
+            r.retries.to_string(),
+        ]);
+    }
+    t
+}
+
+/// `--scenario <file>`: the brownout-containment demonstration. Runs the
+/// checked-in [`FleetScenario`] under three policies on the identical
+/// workload and fault schedule, audits the traced budgeted run, and
+/// checks the containment claim.
+fn run_scenario(path: &str, kind: ServerKind) {
+    let body = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: could not read {path}: {e}");
+        std::process::exit(2);
+    });
+    let scenario: FleetScenario = serde_json::from_str(&body).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not a valid FleetScenario: {e}");
+        std::process::exit(2);
+    });
+    if let Err(e) = scenario.validate() {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(2);
+    }
+    banner(
+        "fleet — shard brownout containment",
+        "a retry budget plus hedging contains a single-shard brownout; \
+         unbudgeted cross-shard retries propagate it fleet-wide",
+    );
+    let n = scenario.shards;
+    println!(
+        "scenario {path}: {} — {} shards behind {}, shard {} browns out {}x for {}\n",
+        scenario.name,
+        n,
+        scenario.balancer.name(),
+        scenario.brownout.shard,
+        scenario.brownout.factor,
+        scenario.brownout.duration,
+    );
+
+    // Fault-free reference: the budgeted+hedged config with the fault
+    // schedule cleared, so every policy is compared to the same ceiling.
+    let mut base_cfg = scenario.fleet_config(0.1, true);
+    base_cfg.shard_faults.clear();
+    let baseline = Cluster::new(base_cfg).run(kind);
+
+    // The budgeted run is the traced one: reconcile the fleet trace
+    // bitwise against the summary and per-shard counters.
+    let mut budget_cfg = scenario.fleet_config(0.1, true);
+    budget_cfg.cell.trace_capacity = 1 << 15;
+    let (budgeted, rec) = Cluster::new(budget_cfg).run_traced(kind);
+    let report = fleet_audit(&budgeted, &rec);
+    if !report.pass() {
+        eprintln!("fleet scenario audit failure:\n{report}");
+    }
+
+    let storm = Cluster::new(scenario.fleet_config(0.0, false)).run(kind);
+
+    let loss =
+        |s: &FleetSummary| 1.0 - s.fleet.throughput / baseline.fleet.throughput.max(1e-12);
+    let mut t = Table::new(vec![
+        "policy".into(),
+        "goodput[req/s]".into(),
+        "loss".into(),
+        "p99[ms]".into(),
+        "hedges".into(),
+        "x-shard retries".into(),
+        "retries".into(),
+        "timeouts".into(),
+        "audit".into(),
+    ]);
+    t.numeric();
+    for (name, s, audited) in [
+        ("baseline (no fault)", &baseline, false),
+        ("budget 0.1 + hedge", &budgeted, true),
+        ("unbudgeted retries", &storm, false),
+    ] {
+        t.row(vec![
+            name.into(),
+            fmt_f64(s.fleet.throughput, 1),
+            fmt_f64(loss(s), 3),
+            fmt_f64(s.fleet.p99_rt_us as f64 / 1e3, 2),
+            s.fleet.hedges.to_string(),
+            s.fleet.shard_retries.to_string(),
+            s.fleet.retries.to_string(),
+            s.fleet.timeouts.to_string(),
+            if !audited {
+                "-".into()
+            } else if report.pass() {
+                "ok".into()
+            } else {
+                "FAIL".into()
+            },
+        ]);
+    }
+    print_and_export("fleet_scenario", &t);
+
+    let mut st = Table::new(vec![
+        "shard".into(),
+        "routes".into(),
+        "completions".into(),
+        "hedges".into(),
+        "cancels".into(),
+        "x-shard retries".into(),
+        "faults".into(),
+    ]);
+    st.numeric();
+    for s in &budgeted.per_shard {
+        st.row(vec![
+            s.shard.to_string(),
+            s.routes.to_string(),
+            s.completions.to_string(),
+            s.hedges.to_string(),
+            s.hedge_cancels.to_string(),
+            s.shard_retries.to_string(),
+            s.fault_events.to_string(),
+        ]);
+    }
+    println!("per-shard traffic under budget 0.1 + hedge:");
+    print_and_export("fleet_scenario_shards", &st);
+
+    let contained = loss(&budgeted) < 1.0 / n as f64;
+    let propagated = loss(&storm) > loss(&budgeted);
+    println!(
+        "containment: budgeted loss {} {} 1/{} = {}  ->  {}",
+        fmt_f64(loss(&budgeted), 3),
+        if contained { "<" } else { ">=" },
+        n,
+        fmt_f64(1.0 / n as f64, 3),
+        if contained { "CONTAINED" } else { "NOT CONTAINED" },
+    );
+    println!(
+        "propagation: unbudgeted loss {} vs budgeted {}  ->  {}",
+        fmt_f64(loss(&storm), 3),
+        fmt_f64(loss(&budgeted), 3),
+        if propagated { "STORM SPREADS" } else { "no spread" },
+    );
+    if !report.pass() {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut json_out = None;
+    let mut scenario = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scenario" => scenario = args.next(),
+            "--json" => json_out = args.next(),
+            _ => {}
+        }
+    }
+    let kind = ServerKind::NettyLike;
+    if let Some(path) = scenario {
+        run_scenario(&path, kind);
+        return;
+    }
+
+    banner(
+        "fleet: balancer x shard-count x fault-intensity (extension)",
+        "load-balancing policy decides how much of a single-shard brownout \
+         the rest of the fleet absorbs",
+    );
+    let quick = matches!(fidelity_from_args(), asyncinv::figures::Fidelity::Quick);
+    let cell = sweep_cell(quick);
+    let shard_counts: &[usize] = if quick { &[2, 4] } else { &[2, 4, 8] };
+    let factors: &[f64] = if quick { &[1.0, 8.0] } else { &[1.0, 4.0, 16.0] };
+
+    let mut rows = Vec::new();
+    for &balancer in &BalancerKind::ALL {
+        for &shards in shard_counts {
+            for &factor in factors {
+                rows.push(run_point(&cell, balancer, shards, factor, kind));
+            }
+        }
+    }
+    println!(
+        "fleet sweep ({}, concurrency {}, brownout on shard 0 for measure/4):",
+        kind.paper_name(),
+        cell.clients.concurrency
+    );
+    print_and_export("fleet_sweep", &sweep_table(&rows));
+
+    if let Some(out) = json_out {
+        let json = serde_json::to_string_pretty(&rows).expect("serialize fleet sweep");
+        std::fs::write(&out, json + "\n").expect("write fleet sweep json");
+        println!("wrote {out}");
+    }
+}

@@ -64,6 +64,16 @@ pub mod fault {
     pub use asyncinv_workload::{RetryBudget, RetryPolicy};
 }
 
+/// Sharded fleets: load balancing, hedged requests, per-shard fault and
+/// shed planes (see `docs/fleet.md`).
+pub mod fleet {
+    pub use asyncinv_fleet::{
+        fleet_audit, mix64, Balancer, BalancerKind, BrownoutSpec, Cluster, ConsistentHashRing,
+        FleetConfig, FleetScenario, FleetSummary, HedgeConfig, HedgeEstimator, ShardFault,
+        ShardShed, ShardSummary,
+    };
+}
+
 /// The RUBBoS 3-tier macro benchmark (paper Section II / Fig 1).
 pub mod rubbos {
     pub use asyncinv_servers::rubbos_engine::{InteractionSummary, RubbosExperiment, RubbosSummary};

@@ -115,6 +115,7 @@ impl CoverageConfig {
                 "crates/tcp/src".into(),
                 "crates/workload/src".into(),
                 "crates/fault/src".into(),
+                "crates/fleet/src".into(),
                 "crates/core/src".into(),
             ],
         }

@@ -38,9 +38,10 @@ fn config() -> CoverageConfig {
     }
 }
 
-/// Removes every match arm / array entry referencing `TraceKind::Retry`,
-/// tracking brace depth so the audit's multi-line arm is removed whole.
-fn delete_retry(src: &str) -> String {
+/// Removes every match arm / array entry referencing the given
+/// `TraceKind::` path, tracking brace depth so the audit's multi-line
+/// arms are removed whole.
+fn delete_kind(src: &str, path: &str) -> String {
     let mut out = Vec::new();
     let mut depth = 0i32;
     let mut skipping = false;
@@ -53,7 +54,7 @@ fn delete_retry(src: &str) -> String {
             }
             continue;
         }
-        if line.contains("TraceKind::Retry") {
+        if line.contains(path) {
             if net > 0 {
                 skipping = true;
                 depth = net;
@@ -79,7 +80,7 @@ fn deleting_an_arm_from_any_surface_fails_the_analyzer() {
         let dir = scratch(&format!("covmut-arm-{i}"));
         let path = dir.join(file);
         let orig = fs::read_to_string(&path).unwrap();
-        let mutated = delete_retry(&orig);
+        let mutated = delete_kind(&orig, "TraceKind::Retry");
         assert_ne!(orig, mutated, "{file}: mutation must change the file");
         fs::write(&path, mutated).unwrap();
         let (diags, _) = analyze(&dir, &config());
@@ -88,6 +89,86 @@ fn deleting_an_arm_from_any_surface_fails_the_analyzer() {
                 .iter()
                 .any(|d| d.lint == "trace-coverage" && d.message.contains("Retry")),
             "{file}: analyzer missed the deleted arm: {diags:?}"
+        );
+    }
+}
+
+/// The fleet trace kinds are schema like any other: deleting the
+/// `ShardRoute` arm from every surface must fail the analyzer, same as
+/// the engine kinds.
+#[test]
+fn deleting_a_fleet_arm_from_any_surface_fails_the_analyzer() {
+    for (i, file) in FILES.iter().enumerate() {
+        let dir = scratch(&format!("covmut-fleet-arm-{i}"));
+        let path = dir.join(file);
+        let orig = fs::read_to_string(&path).unwrap();
+        let mutated = delete_kind(&orig, "TraceKind::ShardRoute");
+        assert_ne!(orig, mutated, "{file}: mutation must change the file");
+        fs::write(&path, mutated).unwrap();
+        let (diags, _) = analyze(&dir, &config());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.lint == "trace-coverage" && d.message.contains("ShardRoute")),
+            "{file}: analyzer missed the deleted fleet arm: {diags:?}"
+        );
+    }
+}
+
+/// A wildcard arm swallowing the fleet kinds (`ShardRoute`, `Hedge`,
+/// `HedgeCancel`, `ShardRetry`) satisfies rustc but must fail the
+/// analyzer: it is exactly how the next fleet trace code would silently
+/// skip the exporter.
+#[test]
+fn wildcard_over_fleet_kinds_is_flagged() {
+    let dir = scratch("covmut-fleet-wildcard");
+    let path = dir.join("crates/obs/src/export.rs");
+    let orig = fs::read_to_string(&path).unwrap();
+    let mutated = orig
+        .replace("TraceKind::ShardRoute => Some(\"shard\"),", "")
+        .replace("TraceKind::Hedge => Some(\"hedge_delay_ns\"),", "")
+        .replace("TraceKind::HedgeCancel => Some(\"shard\"),", "")
+        .replace(
+            "TraceKind::ShardRetry => Some(\"shard\"),",
+            "_ => Some(\"shard\"),",
+        );
+    assert_ne!(orig, mutated, "the jsonl_arg_key fleet arms moved?");
+    fs::write(&path, mutated).unwrap();
+    let (diags, _) = analyze(&dir, &config());
+    assert!(
+        diags.iter().any(|d| d.message.contains("wildcard")),
+        "{diags:?}"
+    );
+    for kind in ["ShardRoute", "Hedge", "HedgeCancel"] {
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains(&format!("TraceKind::{kind}"))),
+            "missing-arm diagnostic for {kind} not raised: {diags:?}"
+        );
+    }
+}
+
+/// With the fleet crate absent from the emitter directories, the fleet
+/// kinds become dead trace codes: nobody emits them. This is the check
+/// that forces `crates/fleet/src` to stay in `emitter_dirs`.
+#[test]
+fn fleet_kinds_are_dead_without_the_fleet_emitter() {
+    let dir = scratch("covmut-fleet-dead");
+    // Emit from the obs crate's own sources only: the engine kinds are
+    // referenced there (exporters double as references), and so are the
+    // fleet kinds — so instead check against an empty emitter dir.
+    fs::create_dir_all(dir.join("empty")).unwrap();
+    let cfg = CoverageConfig {
+        emitter_dirs: vec!["empty".into()],
+        ..CoverageConfig::repo_default()
+    };
+    let (_, summary) = analyze(&dir, &cfg);
+    for kind in ["ShardRoute", "Hedge", "HedgeCancel", "ShardRetry"] {
+        assert!(
+            summary.dead.contains(&kind.to_string()),
+            "{kind} should be dead with no emitters: {:?}",
+            summary.dead
         );
     }
 }

@@ -1,0 +1,128 @@
+//! Hedged requests: after a delay derived from the online response-time
+//! distribution, an outstanding request is duplicated to a second shard and
+//! the first side to finish wins (the loser is cancelled).
+
+use asyncinv_metrics::Histogram;
+use asyncinv_simcore::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Hedging parameters for a [`crate::FleetConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HedgeConfig {
+    /// Fire the hedge once the attempt has been outstanding longer than
+    /// this percentile of observed response times (e.g. `0.95`).
+    pub percentile: f64,
+    /// Delay used before `min_samples` response times have been observed.
+    pub initial_delay: SimDuration,
+    /// Number of observed completions required before the percentile
+    /// estimate replaces `initial_delay`.
+    pub min_samples: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            percentile: 0.95,
+            initial_delay: SimDuration::from_millis(2),
+            min_samples: 32,
+        }
+    }
+}
+
+impl HedgeConfig {
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.percentile > 0.0 && self.percentile < 1.0) {
+            return Err(format!(
+                "hedge percentile must be in (0, 1), got {}",
+                self.percentile
+            ));
+        }
+        if self.initial_delay.as_nanos() == 0 {
+            return Err("hedge initial_delay must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Online estimator of the hedge delay from completed response times.
+#[derive(Debug, Default)]
+pub struct HedgeEstimator {
+    hist: Histogram,
+}
+
+impl HedgeEstimator {
+    /// A fresh estimator with no samples.
+    pub fn new() -> Self {
+        HedgeEstimator {
+            hist: Histogram::new(),
+        }
+    }
+
+    /// Records a completed response time.
+    pub fn observe(&mut self, rt: SimDuration) {
+        self.hist.record(rt);
+    }
+
+    /// Number of response times observed so far.
+    pub fn samples(&self) -> u64 {
+        self.hist.count()
+    }
+
+    /// The current hedge delay: the configured percentile once enough
+    /// samples exist, the configured initial delay before that. Never
+    /// returns zero (a zero delay would duplicate every request).
+    pub fn delay(&self, cfg: &HedgeConfig) -> SimDuration {
+        let d = if self.hist.count() >= cfg.min_samples {
+            self.hist.quantile(cfg.percentile)
+        } else {
+            cfg.initial_delay
+        };
+        d.max(SimDuration::from_micros(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_uses_initial_until_min_samples_then_percentile() {
+        let cfg = HedgeConfig {
+            percentile: 0.9,
+            initial_delay: SimDuration::from_millis(5),
+            min_samples: 4,
+        };
+        let mut est = HedgeEstimator::new();
+        assert_eq!(est.delay(&cfg), SimDuration::from_millis(5));
+        for ms in [1u64, 2, 3, 4] {
+            est.observe(SimDuration::from_millis(ms));
+        }
+        let d = est.delay(&cfg);
+        assert!(d >= SimDuration::from_millis(3), "p90 of 1..4ms, got {d:?}");
+        assert!(d <= SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn delay_is_never_zero() {
+        let cfg = HedgeConfig {
+            min_samples: 1,
+            ..HedgeConfig::default()
+        };
+        let mut est = HedgeEstimator::new();
+        est.observe(SimDuration::from_nanos(0));
+        assert!(est.delay(&cfg).as_nanos() > 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_percentiles() {
+        let mut cfg = HedgeConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.percentile = 1.0;
+        assert!(cfg.validate().is_err());
+        cfg.percentile = 0.5;
+        cfg.initial_delay = SimDuration::from_nanos(0);
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Checked-in fleet scenarios: a small serializable description of a
+//! fleet topology plus a single-shard brownout, parameterized over the
+//! resilience policy so the bench harness can contrast a budgeted,
+//! hedged fleet against an unbudgeted one on the *same* workload.
+
+use asyncinv_fault::{FaultEvent, FaultKind, FaultPlan};
+use asyncinv_servers::{ExperimentConfig, RetryPolicy};
+use asyncinv_simcore::SimDuration;
+use asyncinv_workload::ThinkTime;
+use serde::{Deserialize, Serialize};
+
+use crate::balancer::BalancerKind;
+use crate::cluster::{FleetConfig, ShardFault};
+use crate::hedge::HedgeConfig;
+
+/// A CPU brownout on one shard: its machine runs `factor`× slower for
+/// `duration`, starting `at` after run start.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BrownoutSpec {
+    /// Shard whose machine browns out.
+    pub shard: usize,
+    /// Onset, measured from run start.
+    pub at: SimDuration,
+    /// Service-time multiplier while browned out (> 1 slows down).
+    pub factor: f64,
+    /// Brownout length.
+    pub duration: SimDuration,
+}
+
+/// A serializable fleet scenario (see `scenarios/shard_brownout.json`):
+/// a homogeneous fleet, a balancer, an optional hedge policy and one
+/// browning-out shard. The retry budget is *not* part of the file — the
+/// harness derives a [`FleetConfig`] per policy via
+/// [`FleetScenario::fleet_config`] so every policy sees the identical
+/// workload and fault schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetScenario {
+    /// Scenario name (report label).
+    pub name: String,
+    /// Number of shards.
+    pub shards: usize,
+    /// Closed-loop client concurrency (shared across the fleet).
+    pub concurrency: usize,
+    /// Response size in bytes.
+    pub response_bytes: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Mean exponential think time between a user's requests; zero (the
+    /// default) keeps the paper's zero-think closed loop, which saturates
+    /// the fleet. A nonzero think time leaves headroom — the capacity
+    /// hedges borrow and retry storms consume.
+    #[serde(default)]
+    pub think: SimDuration,
+    /// Routing policy.
+    pub balancer: BalancerKind,
+    /// Hedge policy used by the hedged variants.
+    #[serde(default)]
+    pub hedge: Option<HedgeConfig>,
+    /// Per-request timeout.
+    pub timeout: SimDuration,
+    /// Maximum retries per request.
+    pub max_retries: u32,
+    /// Warm-up excluded from measurement.
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub measure: SimDuration,
+    /// The injected brownout.
+    pub brownout: BrownoutSpec,
+}
+
+impl FleetScenario {
+    /// Checks the scenario for structural validity.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards < 2 {
+            return Err("a brownout scenario needs at least two shards".into());
+        }
+        if self.brownout.shard >= self.shards {
+            return Err(format!(
+                "brownout targets shard {} of {}",
+                self.brownout.shard, self.shards
+            ));
+        }
+        if self.brownout.factor <= 1.0 || !self.brownout.factor.is_finite() {
+            return Err("brownout factor must be > 1".into());
+        }
+        if self.brownout.duration.is_zero() {
+            return Err("brownout duration must be positive".into());
+        }
+        if self.timeout.is_zero() {
+            return Err("timeout must be positive".into());
+        }
+        if self.measure.is_zero() {
+            return Err("measurement window must be positive".into());
+        }
+        if let Some(h) = &self.hedge {
+            h.validate()?;
+        }
+        // Cross-validate the derived config end to end.
+        self.fleet_config(0.0, false).validate()
+    }
+
+    /// Derives the fleet configuration for one resilience policy:
+    /// `budget_ratio` caps retries (0 disables the budget — the classic
+    /// retry-storm ingredient), `hedging` turns the scenario's hedge
+    /// policy on. Everything else (workload, seed, fault schedule) is
+    /// identical across policies, so runs are directly comparable.
+    pub fn fleet_config(&self, budget_ratio: f64, hedging: bool) -> FleetConfig {
+        let mut cell = ExperimentConfig::micro(self.concurrency, self.response_bytes);
+        cell.warmup = self.warmup;
+        cell.measure = self.measure;
+        cell.clients.seed = self.seed;
+        if !self.think.is_zero() {
+            cell.clients.think = ThinkTime::Exponential(self.think);
+        }
+        cell.retry = RetryPolicy {
+            timeout: Some(self.timeout),
+            max_retries: self.max_retries,
+            budget_ratio,
+            ..RetryPolicy::default()
+        };
+        FleetConfig {
+            cell,
+            shards: self.shards,
+            balancer: self.balancer,
+            hedge: if hedging { self.hedge } else { None },
+            shard_faults: vec![ShardFault {
+                shard: self.brownout.shard,
+                plan: FaultPlan {
+                    seed: self.seed,
+                    events: vec![FaultEvent {
+                        at: self.brownout.at,
+                        fault: FaultKind::Slowdown {
+                            factor: self.brownout.factor,
+                            duration: Some(self.brownout.duration),
+                        },
+                    }],
+                },
+            }],
+            shard_shed: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> FleetScenario {
+        FleetScenario {
+            name: "demo".into(),
+            shards: 4,
+            concurrency: 32,
+            response_bytes: 4096,
+            seed: 7,
+            think: SimDuration::from_millis(5),
+            balancer: BalancerKind::LeastOutstanding,
+            hedge: Some(HedgeConfig::default()),
+            timeout: SimDuration::from_millis(40),
+            max_retries: 2,
+            warmup: SimDuration::from_millis(100),
+            measure: SimDuration::from_millis(500),
+            brownout: BrownoutSpec {
+                shard: 0,
+                at: SimDuration::from_millis(200),
+                factor: 12.0,
+                duration: SimDuration::from_millis(200),
+            },
+        }
+    }
+
+    #[test]
+    fn scenario_round_trips_and_validates() {
+        let sc = demo();
+        assert!(sc.validate().is_ok());
+        let json = serde_json::to_string(&sc).expect("serialize");
+        let back: FleetScenario = serde_json::from_str(&json).expect("parse");
+        assert!(back.validate().is_ok());
+        assert_eq!(back.shards, 4);
+    }
+
+    #[test]
+    fn derived_configs_differ_only_in_policy() {
+        let sc = demo();
+        let storm = sc.fleet_config(0.0, false);
+        let safe = sc.fleet_config(0.1, true);
+        assert_eq!(storm.cell.clients.seed, safe.cell.clients.seed);
+        assert_eq!(storm.shard_faults.len(), safe.shard_faults.len());
+        assert!(storm.hedge.is_none());
+        assert!(safe.hedge.is_some());
+        assert_eq!(safe.cell.retry.budget_ratio, 0.1);
+        assert!(storm.validate().is_ok());
+        assert!(safe.validate().is_ok());
+    }
+
+    #[test]
+    fn bad_scenarios_are_rejected() {
+        let mut sc = demo();
+        sc.brownout.shard = 9;
+        assert!(sc.validate().is_err());
+        let mut sc = demo();
+        sc.brownout.factor = 0.5;
+        assert!(sc.validate().is_err());
+        let mut sc = demo();
+        sc.shards = 1;
+        assert!(sc.validate().is_err());
+    }
+}

@@ -119,6 +119,22 @@ pub struct RunSummary {
     /// Fault-plan actions applied within the window.
     #[serde(default)]
     pub fault_events: u64,
+    /// Request attempts routed to a shard by the fleet balancer within the
+    /// window. Zero outside multi-shard fleet runs (a 1-shard fleet stays
+    /// bit-identical to the bare engine and routes nothing).
+    #[serde(default)]
+    pub shard_routes: u64,
+    /// Hedged duplicate attempts fired within the window.
+    #[serde(default)]
+    pub hedges: u64,
+    /// Hedged attempts cancelled (loser of the pair, or killed by a fault)
+    /// within the window.
+    #[serde(default)]
+    pub hedge_cancels: u64,
+    /// Retries routed to a different shard than the failed attempt within
+    /// the window.
+    #[serde(default)]
+    pub shard_retries: u64,
     /// Per-request-class breakdown, in mix order.
     pub per_class: Vec<ClassSummary>,
 }

@@ -166,6 +166,22 @@ pub fn disposition(kind: TraceKind) -> Disposition {
             check: "rejected",
             summary: |s| s.rejected,
         },
+        TraceKind::ShardRoute => Disposition::CounterEq {
+            check: "shard_routes",
+            summary: |s| s.shard_routes,
+        },
+        TraceKind::Hedge => Disposition::CounterEq {
+            check: "hedges",
+            summary: |s| s.hedges,
+        },
+        TraceKind::HedgeCancel => Disposition::CounterEq {
+            check: "hedge_cancels",
+            summary: |s| s.hedge_cancels,
+        },
+        TraceKind::ShardRetry => Disposition::CounterEq {
+            check: "shard_retries",
+            summary: |s| s.shard_retries,
+        },
     }
 }
 

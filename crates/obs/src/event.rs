@@ -53,11 +53,25 @@ pub enum TraceKind {
     /// distinct from [`TraceKind::Completion`]: rejected requests do not
     /// count toward goodput. `arg` is the time since first send in ns.
     Rejected,
+    /// The fleet balancer routed a request attempt to a shard; `arg` is
+    /// the shard index. Emitted only by multi-shard clusters (a 1-shard
+    /// fleet is bit-identical to the bare engine and emits none).
+    ShardRoute,
+    /// A hedged duplicate of an outstanding request was fired to a second
+    /// shard; `arg` is the hedge delay in nanoseconds.
+    Hedge,
+    /// One side of a hedged pair was cancelled (the other side won, or a
+    /// fault killed it); `arg` is the shard index of the cancelled
+    /// attempt.
+    HedgeCancel,
+    /// A cross-shard retry: the retried attempt was routed to a different
+    /// shard than the one that failed; `arg` is the new shard index.
+    ShardRetry,
 }
 
 impl TraceKind {
     /// Number of kinds (for per-kind counter arrays).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 20;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -77,6 +91,10 @@ impl TraceKind {
         TraceKind::Abandon,
         TraceKind::Shed,
         TraceKind::Rejected,
+        TraceKind::ShardRoute,
+        TraceKind::Hedge,
+        TraceKind::HedgeCancel,
+        TraceKind::ShardRetry,
     ];
 
     /// Stable index for per-kind counter arrays.
@@ -103,6 +121,10 @@ impl TraceKind {
             TraceKind::Abandon => "abandon",
             TraceKind::Shed => "shed",
             TraceKind::Rejected => "rejected",
+            TraceKind::ShardRoute => "shard_route",
+            TraceKind::Hedge => "hedge",
+            TraceKind::HedgeCancel => "hedge_cancel",
+            TraceKind::ShardRetry => "shard_retry",
         }
     }
 }

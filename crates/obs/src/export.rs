@@ -49,6 +49,10 @@ pub fn chrome_cat(kind: TraceKind) -> &'static str {
         TraceKind::Abandon => "client",
         TraceKind::Shed => "server",
         TraceKind::Rejected => "server",
+        TraceKind::ShardRoute => "fleet",
+        TraceKind::Hedge => "fleet",
+        TraceKind::HedgeCancel => "fleet",
+        TraceKind::ShardRetry => "fleet",
     }
 }
 
@@ -74,6 +78,10 @@ pub fn jsonl_arg_key(kind: TraceKind) -> Option<&'static str> {
         TraceKind::Abandon => Some("attempts"),
         TraceKind::Shed => Some("code"),
         TraceKind::Rejected => Some("since_send_ns"),
+        TraceKind::ShardRoute => Some("shard"),
+        TraceKind::Hedge => Some("hedge_delay_ns"),
+        TraceKind::HedgeCancel => Some("shard"),
+        TraceKind::ShardRetry => Some("shard"),
     }
 }
 
@@ -307,7 +315,7 @@ mod tests {
     #[test]
     fn every_kind_has_a_category_and_arg_keys_are_semantic() {
         let cats = [
-            "engine", "queue", "sched", "tcp", "client", "server", "fault", "mark",
+            "engine", "queue", "sched", "tcp", "client", "server", "fault", "mark", "fleet",
         ];
         for k in TraceKind::ALL {
             assert!(cats.contains(&chrome_cat(k)), "unknown category for {k:?}");

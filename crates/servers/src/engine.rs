@@ -203,10 +203,14 @@ pub enum EngineEvent {
 }
 
 /// Per-connection request info exposed to server models (what the server
-/// learns by parsing the request).
+/// learns by parsing the request). Public so external drivers (the fleet
+/// layer in `asyncinv-fleet`) can host architectures through
+/// [`Ctx::for_driver`].
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct ConnInfo {
+pub struct ConnInfo {
+    /// Response size in bytes of the request pending on the connection.
     pub response_bytes: usize,
+    /// Request class (workload-mix index) of the pending request.
     pub class: usize,
 }
 
@@ -238,7 +242,38 @@ impl std::fmt::Debug for Ctx<'_> {
     }
 }
 
-impl Ctx<'_> {
+impl<'a> Ctx<'a> {
+    /// Builds a context for an external driver hosting a [`ServerModel`]
+    /// outside [`Experiment`] (the fleet layer drives one machine + network
+    /// + architecture per shard). The engine's own drive loop constructs
+    /// contexts directly; external drivers must uphold the same contract:
+    /// construct a fresh `Ctx` per callback and flush `cpu_out` / `tcp_out`
+    /// into the simulation queue after the callback returns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_driver(
+        now: SimTime,
+        cpu: &'a mut CpuModel,
+        tcp: &'a mut TcpWorld,
+        profile: &'a ServiceProfile,
+        conn_info: &'a [ConnInfo],
+        cpu_out: &'a mut Vec<(SimTime, CpuEvent)>,
+        tcp_out: &'a mut Vec<(SimTime, TcpEvent)>,
+        obs: &'a mut dyn Observer,
+        obs_on: bool,
+    ) -> Self {
+        Ctx {
+            now,
+            cpu,
+            tcp,
+            profile,
+            conn_info,
+            cpu_out,
+            tcp_out,
+            obs,
+            obs_on,
+        }
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -1108,7 +1143,7 @@ impl Experiment {
             }
         }
 
-        let summary = RunSummary {
+        RunSummary {
             server: server.name().to_string(),
             concurrency: n,
             response_size: cfg.clients.mix.mean_response_bytes().round() as usize,
@@ -1136,8 +1171,13 @@ impl Experiment {
             rejected: rejected - rejected_snap,
             shed_dropped: shed_dropped - shed_snap,
             fault_events: fault_events - fault_snap,
+            // Fleet-plane counters: a bare single-server run has no
+            // balancer, so these stay zero (the fleet driver fills them).
+            shard_routes: 0,
+            hedges: 0,
+            hedge_cancels: 0,
+            shard_retries: 0,
             per_class,
-        };
-        summary
+        }
     }
 }

@@ -41,7 +41,7 @@ pub mod rubbos_engine;
 pub mod trace_codes;
 
 pub use arch::{ServerKind, ServerModel};
-pub use engine::{Ctx, EngineEvent, Experiment, ExperimentConfig, ShedConfig, ShedPolicy};
+pub use engine::{ConnInfo, Ctx, EngineEvent, Experiment, ExperimentConfig, ShedConfig, ShedPolicy};
 pub use profile::ServiceProfile;
 
 // Fault-plane types used in `ExperimentConfig`, re-exported so harnesses

@@ -43,6 +43,15 @@ echo "== resilience: checked-in fault scenario, traced + audited =="
 cargo run --release -p asyncinv-bench --bin resilience -- \
     --quick --scenario scenarios/retry_storm.json
 
+echo "== fleet: checked-in brownout scenario, traced + fleet-audited =="
+cargo run --release -p asyncinv-bench --bin fleet -- \
+    --quick --scenario scenarios/shard_brownout.json
+
+echo "== fleet: balancer x shard-count x fault sweep, JSON artifact =="
+cargo run --release -p asyncinv-bench --bin fleet -- \
+    --quick --json fleet-sweep.json
+test -s fleet-sweep.json
+
 echo "== benches compile =="
 cargo bench --no-run
 
