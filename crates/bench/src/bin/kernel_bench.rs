@@ -17,9 +17,12 @@
 use std::time::Instant;
 
 use asyncinv::figures::Fidelity;
+use asyncinv::fleet::{BalancerKind, Cluster, FleetConfig, ParallelCluster};
 use asyncinv::runner::{configured_threads, run_cells};
-use asyncinv::{fmt_f64, BackendKind, Experiment, ServerKind, SimTime, Table};
-use asyncinv_simcore::{AdaptiveQueue, CalendarQueue, EventQueue, QueueBackend};
+use asyncinv::{
+    fmt_f64, BackendKind, Experiment, ExperimentConfig, ServerKind, SimDuration, SimTime, Table,
+};
+use asyncinv_simcore::{AdaptiveQueue, CalendarQueue, EventQueue, LadderQueue, QueueBackend};
 use serde::Serialize;
 
 /// One hold-model measurement: pop-one/push-one over a standing population.
@@ -40,7 +43,8 @@ struct GridRow {
     wall_ms: f64,
 }
 
-/// Serial vs parallel wall-clock for the same grid through the runner.
+/// Serial vs parallel wall-clock for the same grid through the runner,
+/// at one worker-thread count.
 #[derive(Debug, Serialize)]
 struct RunnerRow {
     cells: usize,
@@ -48,6 +52,26 @@ struct RunnerRow {
     serial_ms: f64,
     parallel_ms: f64,
     speedup: f64,
+}
+
+/// Interleaved vs parallel-in-time fleet drive of one cluster config.
+#[derive(Debug, Serialize)]
+struct ParallelFleetRow {
+    shards: usize,
+    threads: usize,
+    interleaved_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+}
+
+/// The conservative-sync fleet driver measured against the interleaved
+/// driver. Speedup is bounded by `min(shards, threads, host_cores)`:
+/// on a single-core host the parallel driver can only break even, so
+/// `host_cores` is recorded to make the committed baseline interpretable.
+#[derive(Debug, Serialize)]
+struct ParallelFleetBench {
+    host_cores: usize,
+    rows: Vec<ParallelFleetRow>,
 }
 
 /// Wall-clock cost of observability: the same grid untraced (NoopObserver,
@@ -76,7 +100,8 @@ struct FaultRow {
 struct KernelBench {
     hold: Vec<HoldRow>,
     grid: Vec<GridRow>,
-    runner: RunnerRow,
+    runner: Vec<RunnerRow>,
+    parallel_fleet: ParallelFleetBench,
     observability: ObsRow,
     fault_plane: FaultRow,
 }
@@ -159,7 +184,7 @@ fn main() {
         "Mops/s".into(),
     ]);
     hold_table.numeric();
-    for &population in &[10u64, 100, 10_000] {
+    for &population in &[10u64, 100, 10_000, 100_000] {
         for backend in BackendKind::ALL {
             let rate = match backend {
                 BackendKind::Heap => hold_events_per_sec::<EventQueue<u64>>(population, holds),
@@ -168,6 +193,9 @@ fn main() {
                 }
                 BackendKind::Adaptive => {
                     hold_events_per_sec::<AdaptiveQueue<u64>>(population, holds)
+                }
+                BackendKind::Ladder => {
+                    hold_events_per_sec::<LadderQueue<u64>>(population, holds)
                 }
             };
             hold_table.row(vec![
@@ -204,25 +232,90 @@ fn main() {
     }
     println!("\nfixed Quick cell grid, serial, per backend:\n{grid_table}");
 
-    // --- 3. Parallel runner speedup on the same grid. ---
-    let threads = configured_threads();
+    // --- 3. Parallel runner speedup on the same grid, per thread count. ---
+    let host_cores = configured_threads();
     let start = Instant::now();
     let serial = run_cells(Fidelity::Quick, &cells, 1);
     let serial_ms = start.elapsed().as_secs_f64() * 1e3;
-    let start = Instant::now();
-    let parallel = run_cells(Fidelity::Quick, &cells, threads);
-    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(serial, parallel, "parallel run must be bit-identical");
-    let runner = RunnerRow {
-        cells: cells.len(),
-        threads,
-        serial_ms,
-        parallel_ms,
-        speedup: serial_ms / parallel_ms.max(1e-9),
-    };
+    let mut runner = Vec::new();
+    let mut runner_table = Table::new(vec![
+        "threads".into(),
+        "serial[ms]".into(),
+        "parallel[ms]".into(),
+        "speedup".into(),
+    ]);
+    runner_table.numeric();
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let parallel = run_cells(Fidelity::Quick, &cells, threads);
+        let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(serial, parallel, "parallel run must be bit-identical");
+        let speedup = serial_ms / parallel_ms.max(1e-9);
+        runner_table.row(vec![
+            threads.to_string(),
+            fmt_f64(serial_ms, 0),
+            fmt_f64(parallel_ms, 0),
+            fmt_f64(speedup, 2),
+        ]);
+        runner.push(RunnerRow {
+            cells: cells.len(),
+            threads,
+            serial_ms,
+            parallel_ms,
+            speedup,
+        });
+    }
     println!(
-        "\nrunner: {} cells  serial {:.0} ms  parallel({} threads) {:.0} ms  speedup {:.2}x",
-        runner.cells, runner.serial_ms, runner.threads, runner.parallel_ms, runner.speedup
+        "\nrunner: {} cells, host reports {host_cores} core(s):\n{runner_table}",
+        cells.len()
+    );
+
+    // --- 3b. Parallel-in-time fleet driver vs the interleaved driver. ---
+    let fleet_cell = || {
+        let mut cfg = ExperimentConfig::micro(16, 10 * 1024);
+        cfg.warmup = SimDuration::from_millis(100);
+        cfg.measure = SimDuration::from_millis(if quick { 200 } else { 600 });
+        cfg
+    };
+    let mut fleet_rows = Vec::new();
+    let mut fleet_table = Table::new(vec![
+        "shards".into(),
+        "threads".into(),
+        "interleaved[ms]".into(),
+        "parallel[ms]".into(),
+        "speedup".into(),
+    ]);
+    fleet_table.numeric();
+    for shards in [2usize, 4, 8] {
+        let cfg = FleetConfig::new(fleet_cell(), shards, BalancerKind::RoundRobin);
+        let start = Instant::now();
+        let a = Cluster::new(cfg.clone()).run(ServerKind::NettyLike);
+        let interleaved_ms = start.elapsed().as_secs_f64() * 1e3;
+        let threads = 4usize;
+        let start = Instant::now();
+        let b = ParallelCluster::new(cfg).threads(threads).run(ServerKind::NettyLike);
+        let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(a, b, "parallel fleet drive must be bit-identical");
+        let speedup = interleaved_ms / parallel_ms.max(1e-9);
+        fleet_table.row(vec![
+            shards.to_string(),
+            threads.to_string(),
+            fmt_f64(interleaved_ms, 0),
+            fmt_f64(parallel_ms, 0),
+            fmt_f64(speedup, 2),
+        ]);
+        fleet_rows.push(ParallelFleetRow {
+            shards,
+            threads,
+            interleaved_ms,
+            parallel_ms,
+            speedup,
+        });
+    }
+    let parallel_fleet = ParallelFleetBench { host_cores, rows: fleet_rows };
+    println!(
+        "\nparallel fleet (conservative sync, bit-identical, host reports {host_cores} \
+         core(s); speedup bound = min(shards, threads, cores)):\n{fleet_table}"
     );
 
     // --- 4. Observability overhead: untraced vs fully traced grid. ---
@@ -291,6 +384,7 @@ fn main() {
         hold,
         grid: grid_rows,
         runner,
+        parallel_fleet,
         observability,
         fault_plane,
     };

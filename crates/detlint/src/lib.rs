@@ -56,7 +56,7 @@ impl WorkspaceConfig {
     pub fn repo_default() -> Self {
         let crates = [
             "simcore", "core", "tcp", "cpu", "servers", "workload", "fault", "metrics", "obs",
-            "bench",
+            "bench", "fleet",
         ];
         let mut lint_dirs: Vec<PathBuf> = crates
             .iter()

@@ -1,0 +1,128 @@
+//! Mutation tests for the `thread-spawn` lint over the parallel fleet
+//! driver. The driver's worker pool is the one sanctioned spawn site in
+//! the fleet crate, allowlisted by an in-file `detlint::allow` annotation
+//! with a written justification — **not** by `spawn_sanctioned`, so the
+//! waiver is per-site: deleting the annotation, or adding any other
+//! spawn to the driver, must fail the gate.
+
+use std::path::{Path, PathBuf};
+
+use detlint::diag::apply_allows;
+use detlint::lints::{lint_names, lint_source, LintOptions};
+use detlint::{run_check, Diagnostic, WorkspaceConfig};
+
+const DRIVER: &str = "crates/fleet/src/parallel.rs";
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn driver_source() -> String {
+    std::fs::read_to_string(workspace_root().join(DRIVER)).expect("fleet driver readable")
+}
+
+/// Lints a (possibly mutated) copy of the driver source exactly as the
+/// workspace pass would: fleet files are *not* in `spawn_sanctioned`, so
+/// only annotations can waive `thread-spawn`.
+fn lint_driver(src: &str) -> Vec<Diagnostic> {
+    let (raw, lexed) = lint_source(DRIVER, src, &LintOptions::default());
+    apply_allows(DRIVER, &lexed.comments, &lexed.tokens, &lint_names(), raw)
+}
+
+/// The fleet crate is in the workspace lint scope, and the driver's pool
+/// spawn is visible in the report as an *allowlisted* finding — it must
+/// never silently vanish from the artifact.
+#[test]
+fn fleet_driver_is_scanned_and_its_pool_spawn_is_allowlisted() {
+    let cfg = WorkspaceConfig::repo_default();
+    assert!(
+        cfg.lint_dirs.iter().any(|d| d.ends_with("fleet/src")),
+        "crates/fleet/src missing from the lint scope"
+    );
+    assert!(
+        !cfg.spawn_sanctioned.iter().any(|f| f.ends_with("parallel.rs")),
+        "the driver must be waived per-site by annotation, not file-sanctioned"
+    );
+    let report = run_check(&workspace_root(), &cfg);
+    assert!(report.clean(), "\n{}", report.render_text());
+    assert!(
+        report
+            .allowed()
+            .any(|d| d.file == DRIVER && d.lint == "thread-spawn"),
+        "the driver's annotated worker-pool spawn should appear as allowlisted"
+    );
+}
+
+/// Deleting the annotation (the mutation a careless refactor performs)
+/// turns the same spawn into a hard violation.
+#[test]
+fn stripping_the_annotation_makes_the_pool_spawn_fire() {
+    let orig = driver_source();
+    let mutated: String = orig
+        .lines()
+        .filter(|l| !l.contains("detlint::allow(thread-spawn"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(orig, mutated, "the driver lost its allow annotation?");
+    let diags = lint_driver(&mutated);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == "thread-spawn" && d.allowed.is_none()),
+        "unannotated pool spawn must fire: {diags:?}"
+    );
+}
+
+/// A *new* spawn added elsewhere in the driver fires even though the
+/// pool's annotation is still present: the waiver covers one line, not
+/// the module.
+#[test]
+fn a_second_unannotated_spawn_in_the_driver_fires() {
+    let orig = driver_source();
+    let mutated = format!(
+        "{orig}\nfn rogue() {{ std::thread::spawn(|| ()); }}\n"
+    );
+    let diags = lint_driver(&mutated);
+    let unallowed: Vec<_> = diags
+        .iter()
+        .filter(|d| d.lint == "thread-spawn" && d.allowed.is_none())
+        .collect();
+    assert_eq!(
+        unallowed.len(),
+        1,
+        "exactly the rogue spawn must fire: {diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == "thread-spawn" && d.allowed.is_some()),
+        "the annotated pool spawn must stay allowlisted"
+    );
+}
+
+/// An annotation without a reason is not a waiver: replacing the written
+/// justification with an empty one is itself a violation *and* leaves
+/// the spawn unallowed.
+#[test]
+fn an_empty_reason_is_rejected_and_suppresses_nothing() {
+    let orig = driver_source();
+    let needle = orig
+        .lines()
+        .find(|l| l.contains("detlint::allow(thread-spawn"))
+        .expect("driver carries the annotation")
+        .trim_start()
+        .to_string();
+    let mutated = orig.replace(
+        &needle,
+        "// detlint::allow(thread-spawn, reason = \"\")",
+    );
+    assert_ne!(orig, mutated);
+    let diags = lint_driver(&mutated);
+    assert!(diags.iter().any(|d| d.lint == "bad-allow"), "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.lint == "thread-spawn" && d.allowed.is_none()),
+        "a reasonless annotation must not waive the spawn: {diags:?}"
+    );
+}

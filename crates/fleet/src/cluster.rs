@@ -21,7 +21,8 @@ use asyncinv_servers::{
     trace_codes, ConnInfo, Ctx, ExperimentConfig, ServerKind, ShedConfig, ShedPolicy,
 };
 use asyncinv_simcore::{
-    AdaptiveQueue, BackendKind, CalendarQueue, EventQueue, QueueBackend, SimTime, Simulation,
+    AdaptiveQueue, BackendKind, CalendarQueue, EventQueue, LadderQueue, QueueBackend, SimTime,
+    Simulation,
 };
 use asyncinv_tcp::{ConnId, TcpEvent, TcpNotice, TcpWorld};
 use asyncinv_workload::{ClientEvent, ClientPool, RetryBudget, UserId};
@@ -213,6 +214,14 @@ enum FleetEvent {
     Client(ClientEvent),
     /// An attempt's bytes reached a shard's socket.
     Arrive { shard: u32, user: u32, epoch: u32 },
+    /// The request spec carried by an attempt's bytes lands in a shard's
+    /// per-connection parse state. Scheduled one-way ahead of the matching
+    /// [`FleetEvent::Arrive`] (multi-shard runs only): the spec travels
+    /// with the bytes instead of teleporting into the target shard at
+    /// route time, which keeps each shard's `conn_info` free of
+    /// cross-shard writes inside a sync window (the parallel driver's
+    /// correctness hinges on this).
+    SetConn { shard: u32, user: u32, info: ConnInfo },
     /// The client-side timeout for a primary attempt expired.
     Timeout { shard: u32, user: u32, epoch: u32 },
     /// A backed-off retry fires against its (possibly new) shard.
@@ -225,44 +234,50 @@ enum FleetEvent {
 
 /// The server's in-progress response on one shard connection (mirror of
 /// the engine's private struct; staleness works via attempt identity).
+/// Shared with the parallel driver (`crate::parallel`), which keeps the
+/// same per-connection service state in its shard cores.
 #[derive(Debug, Clone, Copy)]
-struct Serving {
-    epoch: u32,
-    remaining: usize,
-    reject: bool,
-    shorted: bool,
+pub(crate) struct Serving {
+    pub(crate) epoch: u32,
+    pub(crate) remaining: usize,
+    pub(crate) reject: bool,
+    pub(crate) shorted: bool,
 }
 
 /// The fleet's view of one user's outstanding request.
 #[derive(Debug, Clone, Copy)]
-struct FleetReq {
+pub(crate) struct FleetReq {
     /// First-send instant (response time is user-perceived).
-    sent_at: SimTime,
+    pub(crate) sent_at: SimTime,
     /// Send instant of the current primary attempt (hedge delay base).
-    attempt_sent: SimTime,
+    pub(crate) attempt_sent: SimTime,
     /// Retries already made.
-    attempt: u32,
+    pub(crate) attempt: u32,
     /// Primary attempt identity: `(shard, shard-local epoch)`.
-    primary: (usize, u32),
+    pub(crate) primary: (usize, u32),
     /// Outstanding hedged duplicate, if any.
-    hedge: Option<(usize, u32)>,
+    pub(crate) hedge: Option<(usize, u32)>,
+    /// Response size of the request spec (travels with every attempt).
+    pub(crate) response_bytes: usize,
+    /// Workload-mix class of the request spec.
+    pub(crate) class: usize,
 }
 
 /// Fleet counters kept per shard (windowed by snapshot at warm-up end).
 #[derive(Debug, Clone, Copy, Default)]
-struct Counters {
-    routes: u64,
-    hedges: u64,
-    hedge_cancels: u64,
-    shard_retries: u64,
-    rejected: u64,
-    shed_dropped: u64,
-    fault_events: u64,
-    completions: u64,
+pub(crate) struct Counters {
+    pub(crate) routes: u64,
+    pub(crate) hedges: u64,
+    pub(crate) hedge_cancels: u64,
+    pub(crate) shard_retries: u64,
+    pub(crate) rejected: u64,
+    pub(crate) shed_dropped: u64,
+    pub(crate) fault_events: u64,
+    pub(crate) completions: u64,
 }
 
 impl Counters {
-    fn delta(&self, snap: &Counters) -> Counters {
+    pub(crate) fn delta(&self, snap: &Counters) -> Counters {
         Counters {
             routes: self.routes - snap.routes,
             hedges: self.hedges - snap.hedges,
@@ -301,9 +316,9 @@ struct Shard {
 /// Observer adapter that offsets shard-local thread ids into the fleet's
 /// merged thread-id space. Transparent when `base == 0` (shard 0), which
 /// keeps 1-shard traces identical to bare-engine traces.
-struct ShardObs<'a> {
-    inner: &'a mut dyn Observer,
-    base: u32,
+pub(crate) struct ShardObs<'a> {
+    pub(crate) inner: &'a mut dyn Observer,
+    pub(crate) base: u32,
 }
 
 impl Observer for ShardObs<'_> {
@@ -403,12 +418,15 @@ impl Cluster {
     }
 
     /// Monomorphizes the drive loop for the configured queue backend.
-    fn drive(&self, kinds: &[ServerKind], obs: &mut dyn Observer) -> FleetSummary {
+    /// `pub(crate)` so the parallel driver can delegate degenerate shapes
+    /// (1-shard fleets) to the interleaved loop.
+    pub(crate) fn drive(&self, kinds: &[ServerKind], obs: &mut dyn Observer) -> FleetSummary {
         assert_eq!(kinds.len(), self.cfg.shards, "one architecture per shard");
         match self.cfg.cell.backend {
             BackendKind::Heap => self.drive_with::<EventQueue<FleetEvent>>(kinds, obs),
             BackendKind::Calendar => self.drive_with::<CalendarQueue<FleetEvent>>(kinds, obs),
             BackendKind::Adaptive => self.drive_with::<AdaptiveQueue<FleetEvent>>(kinds, obs),
+            BackendKind::Ladder => self.drive_with::<LadderQueue<FleetEvent>>(kinds, obs),
         }
     }
 
@@ -586,7 +604,7 @@ impl Cluster {
                             obs.record(
                                 TraceEvent::new($now, TraceKind::HedgeCancel)
                                     .conn($u)
-                                    .class(shards[hs].conn_info[$u].class)
+                                    .class(t.class)
                                     .arg(hs as u64),
                             );
                         }
@@ -606,7 +624,7 @@ impl Cluster {
                         obs.record(
                             TraceEvent::new($now, TraceKind::Abandon)
                                 .conn($u)
-                                .class(shards[ps].conn_info[$u].class)
+                                .class(t.class)
                                 .arg($attempts as u64),
                         );
                     }
@@ -629,7 +647,7 @@ impl Cluster {
                 if retry_on && attempt < policy.max_retries && budget.try_withdraw() {
                     let backoff = clients.retry_backoff(&policy, attempt);
                     retries += 1;
-                    let cls = shards[$fs].conn_info[$u].class;
+                    let cls = req[$u].as_ref().map_or(0, |t| t.class);
                     if obs_on {
                         obs.record(
                             TraceEvent::new($now, TraceKind::Retry)
@@ -645,9 +663,11 @@ impl Cluster {
                     };
                     outstanding[$fs] -= 1;
                     outstanding[target] += 1;
-                    if target != $fs {
-                        shards[target].conn_info[$u] = shards[$fs].conn_info[$u];
-                    }
+                    // The spec reaches `target` with the retried attempt's
+                    // bytes: the Retry arm schedules a SetConn one-way
+                    // ahead of the re-sent Arrive (multi-shard runs only;
+                    // at one shard `target == $fs` and `conn_info` already
+                    // holds this request's spec).
                     shards[target].epoch[$u] += 1;
                     let ne = shards[target].epoch[$u];
                     if let Some(t) = req[$u].as_mut() {
@@ -895,7 +915,7 @@ impl Cluster {
                                 obs.record(
                                     TraceEvent::new($now, TraceKind::HedgeCancel)
                                         .conn($conn)
-                                        .class(shards[ps].conn_info[$conn].class)
+                                        .class(track.class)
                                         .arg(ps as u64),
                                 );
                             }
@@ -921,10 +941,21 @@ impl Cluster {
             ($now:expr, $spec:expr) => {{
                 let u = $spec.user.0;
                 let s = bal.pick(u, $spec.class, &outstanding);
-                shards[s].conn_info[u] = ConnInfo {
+                let info = ConnInfo {
                     response_bytes: $spec.response_bytes,
                     class: $spec.class,
                 };
+                if multi {
+                    // The spec travels with the bytes: it lands just before
+                    // the Arrive scheduled below (same instant, earlier
+                    // insertion, so FIFO applies it first).
+                    sim.schedule_at(
+                        $now + one_way,
+                        FleetEvent::SetConn { shard: s as u32, user: u as u32, info },
+                    );
+                } else {
+                    shards[s].conn_info[u] = info;
+                }
                 shards[s].epoch[u] += 1;
                 let ep = shards[s].epoch[u];
                 req[u] = Some(FleetReq {
@@ -933,6 +964,8 @@ impl Cluster {
                     attempt: 0,
                     primary: (s, ep),
                     hedge: None,
+                    response_bytes: $spec.response_bytes,
+                    class: $spec.class,
                 });
                 outstanding[s] += 1;
                 if multi {
@@ -1063,11 +1096,12 @@ impl Cluster {
                     if req[u].as_ref().is_some_and(|t| t.primary == (s, epoch)) {
                         timeouts += 1;
                         if obs_on {
-                            let attempt = req[u].as_ref().map_or(0, |t| t.attempt);
+                            let (attempt, cls) =
+                                req[u].as_ref().map_or((0, 0), |t| (t.attempt, t.class));
                             obs.record(
                                 TraceEvent::new(now, TraceKind::ClientTimeout)
                                     .conn(u)
-                                    .class(shards[s].conn_info[u].class)
+                                    .class(cls)
                                     .arg(attempt as u64),
                             );
                         }
@@ -1079,6 +1113,16 @@ impl Cluster {
                     if req[u].as_ref().is_some_and(|t| t.primary == (s, epoch)) {
                         if let Some(t) = req[u].as_mut() {
                             t.attempt_sent = now;
+                        }
+                        if multi {
+                            let info = req[u].as_ref().map_or(ConnInfo::default(), |t| ConnInfo {
+                                response_bytes: t.response_bytes,
+                                class: t.class,
+                            });
+                            sim.schedule_at(
+                                now + one_way,
+                                FleetEvent::SetConn { shard, user, info },
+                            );
                         }
                         sim.schedule_at(now + one_way, FleetEvent::Arrive { shard, user, epoch });
                         sim.schedule_at(now + timeout, FleetEvent::Timeout { shard, user, epoch });
@@ -1096,10 +1140,23 @@ impl Cluster {
                         .as_ref()
                         .is_some_and(|t| t.primary == (ps, epoch) && t.hedge.is_none());
                     if live {
-                        let cls = shards[ps].conn_info[u].class;
+                        let (cls, info) = req[u].as_ref().map_or((0, ConnInfo::default()), |t| {
+                            (
+                                t.class,
+                                ConnInfo {
+                                    response_bytes: t.response_bytes,
+                                    class: t.class,
+                                },
+                            )
+                        });
                         let h = bal.pick_excluding(u, cls, &outstanding, ps);
                         if h != ps {
-                            shards[h].conn_info[u] = shards[ps].conn_info[u];
+                            // Hedge implies ≥ 2 shards: the duplicate's spec
+                            // rides with its bytes like every other attempt.
+                            sim.schedule_at(
+                                now + one_way,
+                                FleetEvent::SetConn { shard: h as u32, user, info },
+                            );
                             shards[h].epoch[u] += 1;
                             let he = shards[h].epoch[u];
                             if let Some(t) = req[u].as_mut() {
@@ -1125,6 +1182,14 @@ impl Cluster {
                             );
                         }
                     }
+                }
+                FleetEvent::SetConn { shard, user, info } => {
+                    // Applied unconditionally: every attempt of one logical
+                    // request carries the same spec, and a new request's
+                    // SetConn always lands strictly after the old one's
+                    // (later send + same one-way), so the last writer is
+                    // always the newest attempt.
+                    shards[shard as usize].conn_info[user as usize] = info;
                 }
                 FleetEvent::Fault { shard, idx } => {
                     let s = shard as usize;

@@ -35,6 +35,7 @@
 mod balancer;
 mod cluster;
 mod hedge;
+mod parallel;
 mod scenario;
 
 pub use balancer::{mix64, Balancer, BalancerKind, ConsistentHashRing};
@@ -42,4 +43,5 @@ pub use cluster::{
     fleet_audit, Cluster, FleetConfig, FleetSummary, ShardFault, ShardShed, ShardSummary,
 };
 pub use hedge::{HedgeConfig, HedgeEstimator};
+pub use parallel::ParallelCluster;
 pub use scenario::{BrownoutSpec, FleetScenario};

@@ -84,6 +84,9 @@ pub struct Recorder {
     /// Net QueueEnter − QueueExit across all queues, and its peak.
     queue_depth: u64,
     queue_depth_peak: u64,
+    /// Interned `rt_ns_class_<c>` histogram names, indexed by class —
+    /// the per-completion hot path must not format a fresh `String`.
+    class_hist_names: Vec<String>,
     registry: MetricsRegistry,
 }
 
@@ -107,6 +110,7 @@ impl Recorder {
             conn_req: Vec::new(),
             queue_depth: 0,
             queue_depth_peak: 0,
+            class_hist_names: Vec::new(),
             registry: MetricsRegistry::new(),
         }
     }
@@ -207,8 +211,14 @@ impl Observer for Recorder {
             // Completion's arg is the response time in ns: feed the
             // per-class latency histograms directly from the stream.
             TraceKind::Completion if ev.class != NONE => {
-                self.registry
-                    .hist_record(&format!("rt_ns_class_{}", ev.class), ev.arg);
+                let c = ev.class as usize;
+                if self.class_hist_names.len() <= c {
+                    self.class_hist_names
+                        .extend((self.class_hist_names.len()..=c).map(|i| {
+                            format!("rt_ns_class_{i}")
+                        }));
+                }
+                self.registry.hist_record(&self.class_hist_names[c], ev.arg);
             }
             _ => {}
         }

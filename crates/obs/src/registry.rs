@@ -25,7 +25,13 @@ impl MetricsRegistry {
 
     /// Adds `v` to counter `name` (creating it at zero).
     pub fn counter_add(&mut self, name: &str, v: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += v;
+        // Look up before allocating: the common case is an existing key,
+        // and `entry` would clone `name` on every call.
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += v;
+        } else {
+            self.counters.insert(name.to_string(), v);
+        }
     }
 
     /// Sets counter `name` to `v`.
@@ -50,7 +56,13 @@ impl MetricsRegistry {
 
     /// Records a sample into histogram `name` (creating it empty).
     pub fn hist_record(&mut self, name: &str, v: u64) {
-        self.hists.entry(name.to_string()).or_default().record(v);
+        // Hot path for traced runs (one sample per completion): avoid the
+        // `entry(name.to_string())` clone when the histogram exists.
+        if let Some(h) = self.hists.get_mut(name) {
+            h.record(v);
+        } else {
+            self.hists.entry(name.to_string()).or_default().record(v);
+        }
     }
 
     /// Histogram `name`, if present.

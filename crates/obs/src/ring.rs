@@ -27,11 +27,19 @@ pub struct TraceRing {
     head: usize,
     capacity: usize,
     sample_every: u64,
+    /// Offers left until the next sampled-in event (avoids a modulo on
+    /// every push; `sample_every - 1` right after a keep).
+    until_keep: u64,
     /// Events offered (before sampling).
     offered: u64,
     /// Sampled-in events evicted by capacity.
     dropped: u64,
 }
+
+/// Upper bound on the up-front buffer reservation: rings this large are
+/// preallocated in full so the steady-state write path never reallocates;
+/// anything larger grows on demand.
+const PREALLOC_CAP: usize = 1 << 20;
 
 impl TraceRing {
     /// A ring retaining the last `capacity` sampled events (capacity 0
@@ -44,10 +52,11 @@ impl TraceRing {
     /// mean "keep all").
     pub fn with_sampling(capacity: usize, sample_every: u64) -> Self {
         TraceRing {
-            buf: Vec::with_capacity(capacity.min(1 << 16)),
+            buf: Vec::with_capacity(capacity.min(PREALLOC_CAP)),
             head: 0,
             capacity,
             sample_every: sample_every.max(1),
+            until_keep: 0,
             offered: 0,
             dropped: 0,
         }
@@ -55,19 +64,25 @@ impl TraceRing {
 
     /// Offers an event; it is retained if it passes the sampling filter and
     /// the ring has capacity (evicting the oldest otherwise).
+    #[inline]
     pub fn push(&mut self, ev: TraceEvent) {
         self.offered += 1;
         if self.capacity == 0 {
             return;
         }
-        if self.sample_every > 1 && self.offered % self.sample_every != 1 % self.sample_every {
+        if self.until_keep > 0 {
+            self.until_keep -= 1;
             return;
         }
+        self.until_keep = self.sample_every - 1;
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
         } else {
             self.buf[self.head] = ev;
-            self.head = (self.head + 1) % self.capacity;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
             self.dropped += 1;
         }
     }

@@ -32,7 +32,12 @@ use crate::engine::{Ctx, ExperimentConfig};
 /// Implementations are driven entirely by the [`Experiment`](crate::Experiment)
 /// engine; the trait is public so downstream users can plug in custom
 /// architectures (e.g. for ablations).
-pub trait ServerModel {
+///
+/// `Send` is a supertrait so drivers may move a model between OS threads
+/// (the parallel fleet driver ships whole shard machines to phase
+/// workers). Models are simulation state: plain owned data, no ambient
+/// handles, so every architecture here is trivially `Send`.
+pub trait ServerModel: Send {
     /// Display name used in result tables (matches the paper's names).
     fn name(&self) -> &'static str;
 

@@ -6,8 +6,8 @@ use asyncinv_fault::FaultPlan;
 use asyncinv_metrics::{ClassSummary, CpuShare, Histogram, RunSummary, ThroughputWindow};
 use asyncinv_obs::{NoopObserver, Observer, Recorder, TraceEvent, TraceKind};
 use asyncinv_simcore::{
-    AdaptiveQueue, BackendKind, CalendarQueue, EventQueue, QueueBackend, SimDuration, SimTime,
-    Simulation,
+    AdaptiveQueue, BackendKind, CalendarQueue, EventQueue, LadderQueue, QueueBackend, SimDuration,
+    SimTime, Simulation,
 };
 use asyncinv_tcp::{ConnId, TcpConfig, TcpEvent, TcpNotice, TcpWorld};
 use asyncinv_workload::{
@@ -206,7 +206,7 @@ pub enum EngineEvent {
 /// learns by parsing the request). Public so external drivers (the fleet
 /// layer in `asyncinv-fleet`) can host architectures through
 /// [`Ctx::for_driver`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConnInfo {
     /// Response size in bytes of the request pending on the connection.
     pub response_bytes: usize,
@@ -244,8 +244,8 @@ impl std::fmt::Debug for Ctx<'_> {
 
 impl<'a> Ctx<'a> {
     /// Builds a context for an external driver hosting a [`ServerModel`]
-    /// outside [`Experiment`] (the fleet layer drives one machine + network
-    /// + architecture per shard). The engine's own drive loop constructs
+    /// outside [`Experiment`] (the fleet layer drives one machine, network
+    /// and architecture per shard). The engine's own drive loop constructs
     /// contexts directly; external drivers must uphold the same contract:
     /// construct a fresh `Ctx` per callback and flush `cpu_out` / `tcp_out`
     /// into the simulation queue after the callback returns.
@@ -485,6 +485,7 @@ impl Experiment {
             BackendKind::Heap => self.drive_with::<EventQueue<EngineEvent>>(server, obs),
             BackendKind::Calendar => self.drive_with::<CalendarQueue<EngineEvent>>(server, obs),
             BackendKind::Adaptive => self.drive_with::<AdaptiveQueue<EngineEvent>>(server, obs),
+            BackendKind::Ladder => self.drive_with::<LadderQueue<EngineEvent>>(server, obs),
         }
     }
 

@@ -96,7 +96,7 @@ fn tracing_is_zero_impact_when_disabled() {
     cfg.measure = SimDuration::from_secs(1);
     let (a, trace) = Experiment::new(cfg.clone()).run_traced(ServerKind::AsyncPool);
     let b = Experiment::new(cfg).run(ServerKind::AsyncPool);
-    assert!(trace.ring().len() > 0, "trace should be recorded");
+    assert!(!trace.ring().is_empty(), "trace should be recorded");
     assert_eq!(a, b, "tracing must not perturb the simulation");
 }
 

@@ -1,0 +1,354 @@
+//! Arena-allocated, struct-of-arrays state for large in-flight populations.
+//!
+//! At 100k+ concurrent requests, a `Vec<Option<BigStruct>>` of in-flight
+//! state wastes cache on cold fields and the `Option` discriminants. The
+//! two containers here keep large populations hot:
+//!
+//! * [`Arena<T>`] — a slab with a LIFO free list: O(1) insert/remove,
+//!   stable [`ArenaIdx`] handles, deterministic slot reuse (the free list
+//!   is a stack, so reuse order depends only on the call sequence — never
+//!   on pointer values or hashing).
+//! * [`ReqTable`] — a struct-of-arrays table of in-flight request state
+//!   keyed by dense user index, one parallel column per field, used by
+//!   the parallel fleet driver (`asyncinv-fleet`). Columns are plain
+//!   `Vec`s of scalars so a scan over one field (e.g. every live user's
+//!   primary shard) touches only that column.
+//!
+//! Both are simulation state, so both are fully deterministic: no
+//! hashing, no addresses, no ambient entropy.
+
+use crate::time::SimTime;
+
+/// Handle into an [`Arena`]. Plain index — the arena never shrinks, so
+/// handles stay valid until `remove` (slots are reused after removal;
+/// holding a stale `ArenaIdx` after removing it is a logic error the
+/// caller must avoid, as with any slab).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArenaIdx(pub u32);
+
+/// A slab allocator with a LIFO free list and stable indices.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// An empty arena with room for `cap` values before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Stores `value`, reusing the most recently freed slot if any.
+    pub fn insert(&mut self, value: T) -> ArenaIdx {
+        self.live += 1;
+        if let Some(i) = self.free.pop() {
+            debug_assert!(self.slots[i as usize].is_none());
+            self.slots[i as usize] = Some(value);
+            ArenaIdx(i)
+        } else {
+            let i = u32::try_from(self.slots.len()).expect("arena capacity exceeds u32");
+            self.slots.push(Some(value));
+            ArenaIdx(i)
+        }
+    }
+
+    /// Removes and returns the value at `idx` (None if the slot is empty).
+    pub fn remove(&mut self, idx: ArenaIdx) -> Option<T> {
+        let v = self.slots.get_mut(idx.0 as usize)?.take()?;
+        self.free.push(idx.0);
+        self.live -= 1;
+        Some(v)
+    }
+
+    /// Shared access to the value at `idx`.
+    pub fn get(&self, idx: ArenaIdx) -> Option<&T> {
+        self.slots.get(idx.0 as usize)?.as_ref()
+    }
+
+    /// Mutable access to the value at `idx`.
+    pub fn get_mut(&mut self, idx: ArenaIdx) -> Option<&mut T> {
+        self.slots.get_mut(idx.0 as usize)?.as_mut()
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + free).
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Drops every value and resets the free list.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+    }
+}
+
+/// One user's in-flight request, as a row view over [`ReqTable`].
+///
+/// `primary` / `hedge` are `(shard, epoch)` pairs: the shard an attempt
+/// was routed to and the attempt epoch that distinguishes it from stale
+/// events of earlier attempts. `response_bytes` / `class` carry the
+/// request spec with the row so a rerouted attempt never has to read
+/// possibly-stale per-shard connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqSlot {
+    /// First-send time of the logical request (fixed across retries).
+    pub sent_at: SimTime,
+    /// Send time of the newest attempt.
+    pub attempt_sent: SimTime,
+    /// Attempt number (0 = first send).
+    pub attempt: u32,
+    /// Primary attempt: `(shard, epoch)`.
+    pub primary: (u32, u32),
+    /// Hedge attempt, if one is outstanding: `(shard, epoch)`.
+    pub hedge: Option<(u32, u32)>,
+    /// Response size of the request spec.
+    pub response_bytes: usize,
+    /// Workload-mix class index of the request spec.
+    pub class: usize,
+}
+
+const NO_HEDGE: u32 = u32::MAX;
+
+/// Struct-of-arrays table of in-flight requests, keyed by user index.
+///
+/// Equivalent to `Vec<Option<ReqSlot>>` but with each field in its own
+/// column and occupancy in a separate byte vector, so the hot columns
+/// (primary shard/epoch, consulted on every delivery and timeout) stay
+/// dense in cache at 100k+ users.
+#[derive(Debug, Clone)]
+pub struct ReqTable {
+    live: Vec<bool>,
+    sent_at: Vec<SimTime>,
+    attempt_sent: Vec<SimTime>,
+    attempt: Vec<u32>,
+    primary_shard: Vec<u32>,
+    primary_epoch: Vec<u32>,
+    hedge_shard: Vec<u32>,
+    hedge_epoch: Vec<u32>,
+    response_bytes: Vec<usize>,
+    class: Vec<usize>,
+    live_count: usize,
+}
+
+impl ReqTable {
+    /// A table for `users` dense user indices, all rows empty.
+    pub fn new(users: usize) -> Self {
+        ReqTable {
+            live: vec![false; users],
+            sent_at: vec![SimTime::ZERO; users],
+            attempt_sent: vec![SimTime::ZERO; users],
+            attempt: vec![0; users],
+            primary_shard: vec![0; users],
+            primary_epoch: vec![0; users],
+            hedge_shard: vec![NO_HEDGE; users],
+            hedge_epoch: vec![0; users],
+            response_bytes: vec![0; users],
+            class: vec![0; users],
+            live_count: 0,
+        }
+    }
+
+    /// Writes `slot` into row `user` (live or not).
+    pub fn set(&mut self, user: usize, slot: ReqSlot) {
+        if !self.live[user] {
+            self.live[user] = true;
+            self.live_count += 1;
+        }
+        self.sent_at[user] = slot.sent_at;
+        self.attempt_sent[user] = slot.attempt_sent;
+        self.attempt[user] = slot.attempt;
+        self.primary_shard[user] = slot.primary.0;
+        self.primary_epoch[user] = slot.primary.1;
+        match slot.hedge {
+            Some((s, e)) => {
+                self.hedge_shard[user] = s;
+                self.hedge_epoch[user] = e;
+            }
+            None => {
+                self.hedge_shard[user] = NO_HEDGE;
+                self.hedge_epoch[user] = 0;
+            }
+        }
+        self.response_bytes[user] = slot.response_bytes;
+        self.class[user] = slot.class;
+    }
+
+    /// The row for `user`, if live.
+    pub fn get(&self, user: usize) -> Option<ReqSlot> {
+        if !self.live[user] {
+            return None;
+        }
+        Some(ReqSlot {
+            sent_at: self.sent_at[user],
+            attempt_sent: self.attempt_sent[user],
+            attempt: self.attempt[user],
+            primary: (self.primary_shard[user], self.primary_epoch[user]),
+            hedge: if self.hedge_shard[user] == NO_HEDGE {
+                None
+            } else {
+                Some((self.hedge_shard[user], self.hedge_epoch[user]))
+            },
+            response_bytes: self.response_bytes[user],
+            class: self.class[user],
+        })
+    }
+
+    /// Removes and returns the row for `user`, if live.
+    pub fn take(&mut self, user: usize) -> Option<ReqSlot> {
+        let slot = self.get(user)?;
+        self.live[user] = false;
+        self.live_count -= 1;
+        Some(slot)
+    }
+
+    /// `true` when row `user` is live.
+    pub fn contains(&self, user: usize) -> bool {
+        self.live[user]
+    }
+
+    /// Primary `(shard, epoch)` of a live row (hot path: avoids
+    /// materializing the whole row on every delivery).
+    pub fn primary(&self, user: usize) -> Option<(u32, u32)> {
+        if self.live[user] {
+            Some((self.primary_shard[user], self.primary_epoch[user]))
+        } else {
+            None
+        }
+    }
+
+    /// Hedge `(shard, epoch)` of a live row with a hedge outstanding.
+    pub fn hedge(&self, user: usize) -> Option<(u32, u32)> {
+        if self.live[user] && self.hedge_shard[user] != NO_HEDGE {
+            Some((self.hedge_shard[user], self.hedge_epoch[user]))
+        } else {
+            None
+        }
+    }
+
+    /// Records a hedge attempt on a live row.
+    pub fn set_hedge(&mut self, user: usize, shard: u32, epoch: u32) {
+        debug_assert!(self.live[user]);
+        self.hedge_shard[user] = shard;
+        self.hedge_epoch[user] = epoch;
+    }
+
+    /// Clears the hedge attempt on a live row.
+    pub fn clear_hedge(&mut self, user: usize) {
+        self.hedge_shard[user] = NO_HEDGE;
+        self.hedge_epoch[user] = 0;
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// `true` when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_reuses_slots_lifo() {
+        let mut a = Arena::new();
+        let x = a.insert("x");
+        let y = a.insert("y");
+        assert_eq!((x, y), (ArenaIdx(0), ArenaIdx(1)));
+        assert_eq!(a.remove(x), Some("x"));
+        assert_eq!(a.remove(y), Some("y"));
+        assert_eq!(a.remove(y), None, "double-free is a no-op");
+        // LIFO: the most recently freed slot (y's) is reused first.
+        assert_eq!(a.insert("z"), ArenaIdx(1));
+        assert_eq!(a.insert("w"), ArenaIdx(0));
+        assert_eq!(a.insert("v"), ArenaIdx(2));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.slots(), 3);
+        assert_eq!(a.get(ArenaIdx(1)), Some(&"z"));
+        *a.get_mut(ArenaIdx(1)).unwrap() = "zz";
+        assert_eq!(a.get(ArenaIdx(1)), Some(&"zz"));
+    }
+
+    #[test]
+    fn req_table_round_trips_rows() {
+        let mut t = ReqTable::new(4);
+        assert!(t.is_empty());
+        let slot = ReqSlot {
+            sent_at: SimTime::from_micros(3),
+            attempt_sent: SimTime::from_micros(9),
+            attempt: 2,
+            primary: (5, 7),
+            hedge: None,
+            response_bytes: 10 * 1024,
+            class: 1,
+        };
+        t.set(2, slot);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(2) && !t.contains(0));
+        assert_eq!(t.get(2), Some(slot));
+        assert_eq!(t.primary(2), Some((5, 7)));
+        assert_eq!(t.hedge(2), None);
+        t.set_hedge(2, 3, 8);
+        assert_eq!(t.hedge(2), Some((3, 8)));
+        t.clear_hedge(2);
+        assert_eq!(t.hedge(2), None);
+        assert_eq!(t.take(2), Some(slot));
+        assert_eq!(t.take(2), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn req_table_overwrite_keeps_count() {
+        let mut t = ReqTable::new(2);
+        let mk = |attempt| ReqSlot {
+            sent_at: SimTime::ZERO,
+            attempt_sent: SimTime::ZERO,
+            attempt,
+            primary: (0, 0),
+            hedge: Some((1, attempt)),
+            response_bytes: 1,
+            class: 0,
+        };
+        t.set(0, mk(1));
+        t.set(0, mk(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0).unwrap().attempt, 2);
+        assert_eq!(t.get(0).unwrap().hedge, Some((1, 2)));
+    }
+}

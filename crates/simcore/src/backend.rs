@@ -17,6 +17,7 @@
 //! tests in `tests/prop_simcore.rs` enforce this.
 
 use crate::calendar::CalendarQueue;
+use crate::ladder::LadderQueue;
 use crate::queue::EventQueue;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -28,36 +29,37 @@ use serde::{Deserialize, Serialize};
 /// [`BackendKind::Adaptive`]) and engines dispatch their generic drive
 /// loop on it, so a backend can be pinned per run for benchmarking
 /// without changing any code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BackendKind {
     /// Binary heap ([`EventQueue`](crate::EventQueue)).
     Heap,
     /// Calendar queue ([`CalendarQueue`](crate::CalendarQueue)).
     Calendar,
     /// Heap that migrates to a calendar under load ([`AdaptiveQueue`]).
+    #[default]
     Adaptive,
-}
-
-impl Default for BackendKind {
-    fn default() -> Self {
-        BackendKind::Adaptive
-    }
+    /// Ladder queue ([`LadderQueue`](crate::LadderQueue)): flat hold cost
+    /// at 100k+ event populations.
+    Ladder,
 }
 
 impl BackendKind {
-    /// All kinds, in heap → calendar → adaptive order (bench sweeps).
-    pub const ALL: [BackendKind; 3] = [
+    /// All kinds, in heap → calendar → adaptive → ladder order (bench
+    /// sweeps).
+    pub const ALL: [BackendKind; 4] = [
         BackendKind::Heap,
         BackendKind::Calendar,
         BackendKind::Adaptive,
+        BackendKind::Ladder,
     ];
 
-    /// The backend's short name ("heap", "calendar", "adaptive").
+    /// The backend's short name ("heap", "calendar", "adaptive", "ladder").
     pub fn name(self) -> &'static str {
         match self {
             BackendKind::Heap => "heap",
             BackendKind::Calendar => "calendar",
             BackendKind::Adaptive => "adaptive",
+            BackendKind::Ladder => "ladder",
         }
     }
 
@@ -67,6 +69,7 @@ impl BackendKind {
             "heap" => Some(BackendKind::Heap),
             "calendar" => Some(BackendKind::Calendar),
             "adaptive" => Some(BackendKind::Adaptive),
+            "ladder" => Some(BackendKind::Ladder),
             _ => None,
         }
     }
@@ -160,6 +163,34 @@ impl<E> QueueBackend<E> for CalendarQueue<E> {
 
     fn clear(&mut self) {
         CalendarQueue::clear(self);
+    }
+}
+
+impl<E> QueueBackend<E> for LadderQueue<E> {
+    const NAME: &'static str = "ladder";
+
+    #[inline]
+    fn push(&mut self, time: SimTime, event: E) {
+        LadderQueue::push(self, time, event);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        LadderQueue::pop(self)
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<SimTime> {
+        LadderQueue::peek_time(self)
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        LadderQueue::len(self)
+    }
+
+    fn clear(&mut self) {
+        LadderQueue::clear(self);
     }
 }
 

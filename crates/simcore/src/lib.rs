@@ -40,18 +40,24 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod arena;
 mod backend;
 mod calendar;
+mod ladder;
 mod queue;
 mod rng;
 mod sim;
+mod threads;
 mod time;
 
+pub use arena::{Arena, ArenaIdx, ReqSlot, ReqTable};
 pub use backend::{
     AdaptiveQueue, BackendKind, QueueBackend, DEFAULT_SWITCH_DOWN, DEFAULT_SWITCH_UP,
 };
 pub use calendar::CalendarQueue;
+pub use ladder::LadderQueue;
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use sim::{CalendarSimulation, HeapSimulation, Simulation};
+pub use sim::{CalendarSimulation, HeapSimulation, LadderSimulation, Simulation};
+pub use threads::{configured_threads, THREADS_ENV};
 pub use time::{SimDuration, SimTime};

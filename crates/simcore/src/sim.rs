@@ -4,6 +4,7 @@ use std::marker::PhantomData;
 
 use crate::backend::{AdaptiveQueue, QueueBackend};
 use crate::calendar::CalendarQueue;
+use crate::ladder::LadderQueue;
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
 
@@ -52,6 +53,9 @@ pub type HeapSimulation<E> = Simulation<E, EventQueue<E>>;
 
 /// A [`Simulation`] pinned to the calendar-queue backend.
 pub type CalendarSimulation<E> = Simulation<E, CalendarQueue<E>>;
+
+/// A [`Simulation`] pinned to the ladder-queue backend.
+pub type LadderSimulation<E> = Simulation<E, LadderQueue<E>>;
 
 impl<E> Simulation<E> {
     /// Creates a simulation with the clock at [`SimTime::ZERO`] and the
@@ -259,8 +263,10 @@ mod tests {
         }
         let heap = run(HeapSimulation::default());
         let cal = run(CalendarSimulation::default());
+        let ladder = run(LadderSimulation::default());
         let adaptive = run(Simulation::new());
         assert_eq!(heap, cal);
+        assert_eq!(heap, ladder);
         assert_eq!(heap, adaptive);
         assert_eq!(
             HeapSimulation::<u32>::default().backend_name(),

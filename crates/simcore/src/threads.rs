@@ -1,0 +1,35 @@
+//! Worker-thread-count policy shared by every parallel driver.
+//!
+//! Both the cell runner in `asyncinv-core` and the parallel fleet driver
+//! in `asyncinv-fleet` need the same answer to "how many OS threads may I
+//! use?". That policy lives here — the lowest layer both crates already
+//! depend on — so it is resolved once and identically everywhere:
+//! `ASYNCINV_THREADS` if set, otherwise the machine's available
+//! parallelism. Thread *count* never affects simulation results (asserted
+//! by `tests/runner_parallel.rs` and `tests/prop_parallel.rs`); it only
+//! changes wall-clock time.
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "ASYNCINV_THREADS";
+
+/// The worker-thread count to use: `ASYNCINV_THREADS` if set and valid
+/// (values `< 1` are treated as 1), otherwise the machine's available
+/// parallelism, otherwise 1.
+pub fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+    }
+}

@@ -52,6 +52,14 @@ cargo run --release -p asyncinv-bench --bin fleet -- \
     --quick --json fleet-sweep.json
 test -s fleet-sweep.json
 
+echo "== parallel fleet: conservative-sync driver == interleaved, bitwise =="
+cargo test -q --release --test prop_parallel
+
+echo "== kernel bench sweep (quick; asserts runner + parallel-fleet + fault-plane bit-identity) =="
+ASYNCINV_BENCH_OUT="$obs_dir/BENCH_kernel.quick.json" \
+    cargo run --release -p asyncinv-bench --bin kernel_bench -- --quick
+test -s "$obs_dir/BENCH_kernel.quick.json"
+
 echo "== benches compile =="
 cargo bench --no-run
 

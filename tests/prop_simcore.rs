@@ -1,8 +1,8 @@
 //! Property tests of the simulation kernel.
 
 use asyncinv_lab::simcore::{
-    AdaptiveQueue, CalendarQueue, EventQueue, QueueBackend, SimDuration, SimRng, SimTime,
-    Simulation,
+    AdaptiveQueue, CalendarQueue, EventQueue, LadderQueue, QueueBackend, SimDuration, SimRng,
+    SimTime, Simulation,
 };
 use proptest::prelude::*;
 
@@ -91,17 +91,20 @@ proptest! {
         }
     }
 
-    /// All three kernel backends — heap, calendar, and the adaptive queue
+    /// All four kernel backends — heap, calendar, the adaptive queue
     /// (including one with tiny thresholds that forces repeated
-    /// heap<->calendar migrations) — produce byte-identical pop sequences
-    /// for arbitrary interleavings of pushes and pops. This is the property
-    /// that lets [`Simulation`] default to the adaptive backend.
+    /// heap<->calendar migrations), and the ladder queue — produce
+    /// byte-identical pop sequences for arbitrary interleavings of pushes
+    /// and pops. This is the property that lets [`Simulation`] default to
+    /// the adaptive backend and the large-population benchmarks pin the
+    /// ladder.
     #[test]
     fn backends_pop_identically(ops in prop::collection::vec((0u64..50_000, any::<bool>()), 1..500)) {
         let mut heap = EventQueue::new();
         let mut cal = CalendarQueue::new();
         let mut ada = AdaptiveQueue::new();
         let mut ada_tiny = AdaptiveQueue::with_thresholds(8, 3);
+        let mut lad = LadderQueue::new();
         let mut next_id = 0u64;
         for (t, do_pop) in ops {
             if do_pop {
@@ -109,25 +112,66 @@ proptest! {
                 prop_assert_eq!(a, QueueBackend::pop(&mut cal), "calendar divergence");
                 prop_assert_eq!(a, QueueBackend::pop(&mut ada), "adaptive divergence");
                 prop_assert_eq!(a, QueueBackend::pop(&mut ada_tiny), "migrating-adaptive divergence");
+                prop_assert_eq!(a, QueueBackend::pop(&mut lad), "ladder divergence");
             } else {
                 let time = SimTime::from_nanos(t * 97);
                 heap.push(time, next_id);
                 cal.push(time, next_id);
                 ada.push(time, next_id);
                 ada_tiny.push(time, next_id);
+                lad.push(time, next_id);
                 next_id += 1;
             }
             prop_assert_eq!(QueueBackend::peek_time(&heap), QueueBackend::peek_time(&cal));
             prop_assert_eq!(QueueBackend::peek_time(&heap), QueueBackend::peek_time(&ada));
             prop_assert_eq!(QueueBackend::peek_time(&heap), QueueBackend::peek_time(&ada_tiny));
+            prop_assert_eq!(QueueBackend::peek_time(&heap), QueueBackend::peek_time(&lad));
         }
         loop {
             let a = QueueBackend::pop(&mut heap);
             prop_assert_eq!(a, QueueBackend::pop(&mut cal), "calendar drain divergence");
             prop_assert_eq!(a, QueueBackend::pop(&mut ada), "adaptive drain divergence");
             prop_assert_eq!(a, QueueBackend::pop(&mut ada_tiny), "migrating drain divergence");
+            prop_assert_eq!(a, QueueBackend::pop(&mut lad), "ladder drain divergence");
             if a.is_none() { break; }
         }
+    }
+
+    /// The ladder queue preserves FIFO order among equal-time events
+    /// (stability) under adversarial push/pop interleavings that force
+    /// rung spawns and bucket reloads: many duplicates of few distinct
+    /// times, pushed in bursts between pops.
+    #[test]
+    fn ladder_is_stable_at_equal_times(
+        bursts in prop::collection::vec((0u64..64, 1usize..12, any::<bool>()), 1..120),
+    ) {
+        let mut lad = LadderQueue::new();
+        let mut heap = EventQueue::new();
+        let mut next_id = 0u64;
+        for (t, reps, do_pop) in bursts {
+            for _ in 0..reps {
+                // Few distinct times => heavy tie traffic inside buckets.
+                let time = SimTime::from_nanos(t * 13);
+                lad.push(time, next_id);
+                heap.push(time, next_id);
+                next_id += 1;
+            }
+            if do_pop {
+                prop_assert_eq!(QueueBackend::pop(&mut lad), QueueBackend::pop(&mut heap));
+            }
+        }
+        let mut last: Option<(u64, u64)> = None;
+        while let Some((t, id)) = QueueBackend::pop(&mut lad) {
+            prop_assert_eq!(Some((t, id)), QueueBackend::pop(&mut heap));
+            if let Some((lt, lid)) = last {
+                prop_assert!(t.as_nanos() >= lt, "time went backwards");
+                if t.as_nanos() == lt {
+                    prop_assert!(id > lid, "equal-time pops must stay FIFO");
+                }
+            }
+            last = Some((t.as_nanos(), id));
+        }
+        prop_assert_eq!(QueueBackend::pop(&mut heap), None);
     }
 
     /// A simulation pinned to each backend delivers the exact same
@@ -137,15 +181,18 @@ proptest! {
         let mut on_heap: Simulation<u64, EventQueue<u64>> = Simulation::default();
         let mut on_cal: Simulation<u64, CalendarQueue<u64>> = Simulation::default();
         let mut on_ada: Simulation<u64, AdaptiveQueue<u64>> = Simulation::default();
+        let mut on_lad: Simulation<u64, LadderQueue<u64>> = Simulation::default();
         for &d in &delays {
             on_heap.schedule(SimDuration::from_nanos(d), d);
             on_cal.schedule(SimDuration::from_nanos(d), d);
             on_ada.schedule(SimDuration::from_nanos(d), d);
+            on_lad.schedule(SimDuration::from_nanos(d), d);
         }
         loop {
             let a = on_heap.next_event();
             prop_assert_eq!(a, on_cal.next_event());
             prop_assert_eq!(a, on_ada.next_event());
+            prop_assert_eq!(a, on_lad.next_event());
             if a.is_none() { break; }
         }
         prop_assert_eq!(on_heap.events_processed(), delays.len() as u64);
