@@ -18,6 +18,7 @@ use std::time::Instant;
 
 use asyncinv::figures::Fidelity;
 use asyncinv::fleet::{BalancerKind, Cluster, FleetConfig, ParallelCluster};
+use asyncinv::obs::SpanAssembler;
 use asyncinv::runner::{configured_threads, run_cells};
 use asyncinv::{
     fmt_f64, BackendKind, Experiment, ExperimentConfig, ServerKind, SimDuration, SimTime, Table,
@@ -84,6 +85,29 @@ struct ObsRow {
     overhead_pct: f64,
 }
 
+/// Observability cost on the *fleet* driver: the stressed 3-shard span
+/// cell (retries, hedges, a shard brownout, shedding — the workload
+/// `latency_breakdown` and `span_audit` run) untraced, fully traced, and
+/// with span-tree assembly ([`SpanAssembler::assemble`]) folded over the
+/// resulting trace. The single-cell `observability` row understated the
+/// cost story — the fleet driver routes every event through the
+/// coordinator's replay step, so it is the honest place to measure
+/// tracing. Span assembly carries an aspirational <= 3% budget over the
+/// traced run; the committed baseline measures ~12% steady-state (best
+/// of three folds). A bare iterate-and-classify pass over the same ring
+/// — the floor any faithful per-event fold must pay — is already
+/// ~2.5–3%, so the miss is reported rather than papered over with a
+/// looser gate.
+#[derive(Debug, Serialize)]
+struct FleetObsRow {
+    shards: usize,
+    untraced_ms: f64,
+    traced_ms: f64,
+    trace_overhead_pct: f64,
+    span_assembly_ms: f64,
+    span_overhead_pct: f64,
+}
+
 /// Wall-clock cost of the fault plane when it is configured but empty: the
 /// same grid with `faults: None` and with an empty `FaultPlan` (compiles
 /// to zero operations). The summaries must be bit-identical; the recorded
@@ -103,6 +127,7 @@ struct KernelBench {
     runner: Vec<RunnerRow>,
     parallel_fleet: ParallelFleetBench,
     observability: ObsRow,
+    fleet_observability: FleetObsRow,
     fault_plane: FaultRow,
 }
 
@@ -342,6 +367,51 @@ fn main() {
         observability.cells, untraced_ms, traced_ms, observability.overhead_pct
     );
 
+    // --- 4b. Fleet-driver observability: untraced vs traced vs spans. ---
+    // Measured on the same stressed 3-shard cell `latency_breakdown` and
+    // `span_audit` run (retries, hedges, a shard fault, shedding), so the
+    // overhead numbers describe the workload span assembly exists for.
+    let fleet_obs_cfg =
+        || asyncinv_bench::stressed_span_fleet(BalancerKind::PowerOfTwoChoices { seed: 0x5eed }, quick);
+    let start = Instant::now();
+    std::hint::black_box(Cluster::new(fleet_obs_cfg()).run(ServerKind::NettyLike));
+    let fleet_untraced_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let (_, rec) = Cluster::new(fleet_obs_cfg()).run_traced(ServerKind::NettyLike);
+    let fleet_traced_ms = start.elapsed().as_secs_f64() * 1e3;
+    // Steady state (best of three): the first fold pays allocator and
+    // page-fault warmup that repeated assembly over a live recorder does
+    // not — the same convention as the hold-model rows.
+    let mut span_assembly_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        std::hint::black_box(SpanAssembler::assemble(&rec));
+        span_assembly_ms = span_assembly_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let fleet_observability = FleetObsRow {
+        shards: 3,
+        untraced_ms: fleet_untraced_ms,
+        traced_ms: fleet_traced_ms,
+        trace_overhead_pct: (fleet_traced_ms / fleet_untraced_ms.max(1e-9) - 1.0) * 100.0,
+        span_assembly_ms,
+        span_overhead_pct: span_assembly_ms / fleet_traced_ms.max(1e-9) * 100.0,
+    };
+    println!(
+        "\nfleet observability: 3 shards (stressed span cell)  untraced {:.0} ms  traced {:.0} ms \
+         (overhead {:.1}%)  span assembly {:.1} ms (+{:.1}% over traced)",
+        fleet_untraced_ms,
+        fleet_traced_ms,
+        fleet_observability.trace_overhead_pct,
+        span_assembly_ms,
+        fleet_observability.span_overhead_pct
+    );
+    if fleet_observability.span_overhead_pct > 3.0 {
+        eprintln!(
+            "warning: span assembly overhead {:.1}% exceeds the 3% budget",
+            fleet_observability.span_overhead_pct
+        );
+    }
+
     // --- 5. Fault-plane overhead: faults None vs an empty FaultPlan. ---
     let start = Instant::now();
     let plain: Vec<_> = cells
@@ -386,6 +456,7 @@ fn main() {
         runner,
         parallel_fleet,
         observability,
+        fleet_observability,
         fault_plane,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize kernel bench");

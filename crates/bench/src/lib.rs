@@ -9,9 +9,12 @@
 //! `ASYNCINV_THREADS=N`) to bound the parallel cell runner; the recorded
 //! numbers in `EXPERIMENTS.md` come from full runs.
 
+use asyncinv::fault::{FaultEvent, FaultKind, FaultPlan, ShedConfig, ShedPolicy};
 use asyncinv::figures::Fidelity;
+use asyncinv::fleet::{BalancerKind, FleetConfig, HedgeConfig, ShardFault, ShardShed};
 use asyncinv::obs::audit;
-use asyncinv::{fmt_f64, Experiment, ExperimentConfig, RunSummary, ServerKind, Table};
+use asyncinv::workload::RetryPolicy;
+use asyncinv::{fmt_f64, Experiment, ExperimentConfig, RunSummary, ServerKind, SimDuration, Table};
 
 /// Environment variable mirroring `--trace-out DIR`: directory receiving
 /// `<artifact>.trace.json` (Chrome trace-event format) and
@@ -185,6 +188,66 @@ pub fn export_observability_micro(
     cfg.warmup = asyncinv::SimDuration::from_millis(200);
     cfg.measure = asyncinv::SimDuration::from_secs(1);
     export_observability(artifact, cfg, kind);
+}
+
+/// The stressed 3-shard fleet every span-layer harness measures on:
+/// power-of-two-choices balancing, hedged requests, a tight 5 ms retry
+/// timeout, a ×16 slowdown on shard 1 mid-run and a drastically shedding
+/// shard 2 — so retries, hedges, rejections and dead wait all contribute
+/// real time to the span trees. Used by `latency_breakdown` (the
+/// committed phase-attribution artifact), `span_audit` (with the
+/// balancer swept) and `kernel_bench`'s fleet-observability row, so the
+/// overhead numbers describe the same workload as the artifact.
+pub fn stressed_span_fleet(balancer: BalancerKind, quick: bool) -> FleetConfig {
+    let mut cell = ExperimentConfig::micro(8, 10 * 1024);
+    cell.warmup = SimDuration::from_millis(100);
+    cell.measure = SimDuration::from_millis(if quick { 300 } else { 1500 });
+    // The span audit insists the ring retained every event (a sampled or
+    // truncated trace cannot conserve anything bitwise), so the capacity
+    // must cover the whole run: ~25k requests × ~20 events at full
+    // fidelity.
+    cell.trace_capacity = if quick { 1 << 18 } else { 1 << 21 };
+    // 5 ms is ~10× the healthy response time but well under the ~8 ms
+    // responses the ×16 slowdown produces, so the retry plane (timeouts,
+    // backoff, dead wait on the abandoned first attempt) actually engages
+    // during the fault window instead of attributing zero everywhere.
+    cell.retry = RetryPolicy {
+        timeout: Some(SimDuration::from_millis(5)),
+        max_retries: 3,
+        budget_ratio: 0.5,
+        ..RetryPolicy::default()
+    };
+    let mut cfg = FleetConfig::new(cell, 3, balancer);
+    cfg.hedge = Some(HedgeConfig {
+        min_samples: 16,
+        ..HedgeConfig::default()
+    });
+    cfg.shard_faults = vec![ShardFault {
+        shard: 1,
+        plan: FaultPlan {
+            seed: 5,
+            events: vec![FaultEvent {
+                at: SimDuration::from_millis(200),
+                fault: FaultKind::Slowdown {
+                    factor: 16.0,
+                    duration: Some(SimDuration::from_millis(150)),
+                },
+            }],
+        },
+    }];
+    // A drastically shed shard: requests routed there are rejected or
+    // evicted, so the retry plane (backoff, dead wait on the failed
+    // attempt) contributes real time to the breakdown.
+    cfg.shard_shed = vec![ShardShed {
+        shard: 2,
+        shed: ShedConfig {
+            max_concurrent: 1,
+            queue_cap: 1,
+            policy: ShedPolicy::DropOldest,
+            reject_bytes: 256,
+        },
+    }];
+    cfg
 }
 
 /// Renders a throughput-oriented table of run summaries, one row each.

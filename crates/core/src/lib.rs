@@ -70,7 +70,7 @@ pub mod fleet {
     pub use asyncinv_fleet::{
         fleet_audit, mix64, Balancer, BalancerKind, BrownoutSpec, Cluster, ConsistentHashRing,
         FleetConfig, FleetScenario, FleetSummary, HedgeConfig, HedgeEstimator, ParallelCluster,
-        ShardFault, ShardShed, ShardSummary,
+        ParallelHealth, ShardFault, ShardShed, ShardSummary, WorkerHealth,
     };
 }
 
@@ -90,7 +90,12 @@ pub mod obs {
         TraceKind,
     };
     pub use asyncinv_obs::export::{chrome_trace_json, jsonl, validate_chrome_trace};
-    pub use asyncinv_obs::{AuditCheck, LogHistogram, TraceRing};
+    pub use asyncinv_obs::{critical_path, span, span_export, AuditCheck, LogHistogram, TraceRing};
+    pub use asyncinv_obs::{
+        phase_color, span_audit, spans_chrome_json, spans_jsonl, validate_span_trace,
+        AttemptKind, AttemptOutcome, AttemptSpan, Phase, PhaseBreakdown, PhaseSegment,
+        RequestSpan, SpanAssembler, SpanAuditReport, SpanForest, SpanStatus,
+    };
 }
 
 /// Workload building blocks re-exported for experiment construction.

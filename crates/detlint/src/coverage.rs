@@ -108,6 +108,11 @@ impl CoverageConfig {
                     "disposition",
                     "trace-audit reconciliation (audit::disposition)",
                 ),
+                Surface::func(
+                    "crates/obs/src/critical_path.rs",
+                    "classify",
+                    "critical-path phase classification (critical_path::classify)",
+                ),
             ],
             emitter_dirs: vec![
                 "crates/servers/src".into(),
@@ -118,6 +123,35 @@ impl CoverageConfig {
                 "crates/fleet/src".into(),
                 "crates/core/src".into(),
             ],
+        }
+    }
+
+    /// The span layer's phase schema: every [`Phase`] variant must be
+    /// named, enumerated, and colored by the span exporter. `Phase` is
+    /// assigned only inside `crates/obs` (the span layer is a pure fold
+    /// over the trace), so there is no cross-crate emitter check.
+    pub fn span_schema() -> Self {
+        CoverageConfig {
+            enum_file: "crates/obs/src/critical_path.rs".into(),
+            enum_name: "Phase".into(),
+            surfaces: vec![
+                Surface::func(
+                    "crates/obs/src/critical_path.rs",
+                    "name",
+                    "canonical phase names (Phase::name)",
+                ),
+                Surface::array(
+                    "crates/obs/src/critical_path.rs",
+                    "ALL",
+                    "phase enumeration (Phase::ALL)",
+                ),
+                Surface::func(
+                    "crates/obs/src/span_export.rs",
+                    "phase_color",
+                    "span exporter colors (span_export::phase_color)",
+                ),
+            ],
+            emitter_dirs: Vec::new(),
         }
     }
 }
@@ -135,9 +169,11 @@ pub struct SurfaceCoverage {
     pub wildcards: Vec<u32>,
 }
 
-/// Full coverage outcome.
+/// Full coverage outcome for one schema enum.
 #[derive(Debug, Clone, Default)]
 pub struct CoverageSummary {
+    /// The schema enum this summary covers (`TraceKind`, `Phase`).
+    pub enum_name: String,
     pub variants: Vec<String>,
     pub surfaces: Vec<SurfaceCoverage>,
     /// Variants no emitter directory references.
@@ -272,7 +308,10 @@ fn rel(path: &Path) -> String {
 /// than errors: a schema the analyzer cannot see is a failed check.
 pub fn analyze(root: &Path, cfg: &CoverageConfig) -> (Vec<Diagnostic>, CoverageSummary) {
     let mut diags = Vec::new();
-    let mut summary = CoverageSummary::default();
+    let mut summary = CoverageSummary {
+        enum_name: cfg.enum_name.clone(),
+        ..CoverageSummary::default()
+    };
 
     let enum_rel = rel(&cfg.enum_file);
     let enum_src = match std::fs::read_to_string(root.join(&cfg.enum_file)) {

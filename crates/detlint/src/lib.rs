@@ -38,8 +38,10 @@ pub struct WorkspaceConfig {
     pub lint_dirs: Vec<PathBuf>,
     /// Files (relative to the root) where `thread-spawn` is sanctioned.
     pub spawn_sanctioned: Vec<PathBuf>,
-    /// The trace-schema coverage configuration, if enabled.
-    pub coverage: Option<CoverageConfig>,
+    /// The schema-coverage configurations to run (empty disables the
+    /// analyzer). The repo default checks two schemas: the `TraceKind`
+    /// event schema and the span layer's `Phase` schema.
+    pub coverage: Vec<CoverageConfig>,
 }
 
 impl WorkspaceConfig {
@@ -66,7 +68,7 @@ impl WorkspaceConfig {
         WorkspaceConfig {
             lint_dirs,
             spawn_sanctioned: vec!["crates/core/src/runner.rs".into()],
-            coverage: Some(CoverageConfig::repo_default()),
+            coverage: vec![CoverageConfig::repo_default(), CoverageConfig::span_schema()],
         }
     }
 }
@@ -76,8 +78,8 @@ impl WorkspaceConfig {
 pub struct Report {
     /// Every diagnostic, including allowlisted ones, sorted and deduped.
     pub diagnostics: Vec<Diagnostic>,
-    /// Trace-schema coverage details (when the analyzer ran).
-    pub coverage: Option<CoverageSummary>,
+    /// Schema-coverage details, one summary per configured schema.
+    pub coverage: Vec<CoverageSummary>,
     /// Number of `.rs` files the determinism lints scanned.
     pub files_scanned: usize,
 }
@@ -156,36 +158,41 @@ impl Report {
             ),
             ("clean".to_string(), Value::Bool(self.clean())),
         ];
-        if let Some(cov) = &self.coverage {
-            let surfaces = cov
-                .surfaces
+        if !self.coverage.is_empty() {
+            let schemas = self
+                .coverage
                 .iter()
-                .map(|s| {
+                .map(|cov| {
+                    let surfaces = cov
+                        .surfaces
+                        .iter()
+                        .map(|s| {
+                            Value::Map(vec![
+                                ("label".to_string(), Value::Str(s.label.clone())),
+                                ("file".to_string(), Value::Str(s.file.clone())),
+                                ("missing".to_string(), strs(&s.missing)),
+                                ("stale".to_string(), strs(&s.stale)),
+                                (
+                                    "wildcards".to_string(),
+                                    Value::Seq(
+                                        s.wildcards
+                                            .iter()
+                                            .map(|&l| Value::UInt(u64::from(l)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect();
                     Value::Map(vec![
-                        ("label".to_string(), Value::Str(s.label.clone())),
-                        ("file".to_string(), Value::Str(s.file.clone())),
-                        ("missing".to_string(), strs(&s.missing)),
-                        ("stale".to_string(), strs(&s.stale)),
-                        (
-                            "wildcards".to_string(),
-                            Value::Seq(
-                                s.wildcards
-                                    .iter()
-                                    .map(|&l| Value::UInt(u64::from(l)))
-                                    .collect(),
-                            ),
-                        ),
+                        ("enum".to_string(), Value::Str(cov.enum_name.clone())),
+                        ("variants".to_string(), strs(&cov.variants)),
+                        ("surfaces".to_string(), Value::Seq(surfaces)),
+                        ("dead".to_string(), strs(&cov.dead)),
                     ])
                 })
                 .collect();
-            root.push((
-                "coverage".to_string(),
-                Value::Map(vec![
-                    ("variants".to_string(), strs(&cov.variants)),
-                    ("surfaces".to_string(), Value::Seq(surfaces)),
-                    ("dead".to_string(), strs(&cov.dead)),
-                ]),
-            ));
+            root.push(("coverage".to_string(), Value::Seq(schemas)));
         }
         serde_json::to_string_pretty(&Value::Map(root)).expect("report serializes")
     }
@@ -250,11 +257,15 @@ pub fn run_check(root: &Path, cfg: &WorkspaceConfig) -> Report {
         }
     }
 
-    let coverage = cfg.coverage.as_ref().map(|cov_cfg| {
-        let (cov_diags, summary) = coverage::analyze(root, cov_cfg);
-        diagnostics.extend(cov_diags);
-        summary
-    });
+    let coverage = cfg
+        .coverage
+        .iter()
+        .map(|cov_cfg| {
+            let (cov_diags, summary) = coverage::analyze(root, cov_cfg);
+            diagnostics.extend(cov_diags);
+            summary
+        })
+        .collect();
 
     // Deduplicate (identical findings can only arise from overlapping
     // scope configuration, but the report must be stable regardless) and
@@ -324,7 +335,7 @@ mod tests {
                     ..Diagnostic::new("a.rs", 9, "hash-iter", "ok")
                 },
             ],
-            coverage: None,
+            coverage: Vec::new(),
             files_scanned: 1,
         };
         assert!(!report.clean());

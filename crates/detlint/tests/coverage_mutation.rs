@@ -13,6 +13,8 @@ const FILES: &[&str] = &[
     "crates/obs/src/event.rs",
     "crates/obs/src/export.rs",
     "crates/obs/src/audit.rs",
+    "crates/obs/src/critical_path.rs",
+    "crates/obs/src/span_export.rs",
 ];
 
 fn workspace_root() -> PathBuf {
@@ -30,12 +32,32 @@ fn scratch(tag: &str) -> PathBuf {
     dir
 }
 
+/// The files holding `TraceKind` surfaces — the targets of the event-schema
+/// arm-deletion mutations (`span_export.rs` carries only `Phase` surfaces).
+const TRACE_SURFACE_FILES: &[&str] = &[
+    "crates/obs/src/event.rs",
+    "crates/obs/src/export.rs",
+    "crates/obs/src/audit.rs",
+    "crates/obs/src/critical_path.rs",
+];
+
+/// The files holding `Phase` surfaces.
+const PHASE_SURFACE_FILES: &[&str] = &[
+    "crates/obs/src/critical_path.rs",
+    "crates/obs/src/span_export.rs",
+];
+
 fn config() -> CoverageConfig {
     CoverageConfig {
         // The scratch tree holds only the obs files, no engine crates.
         emitter_dirs: Vec::new(),
         ..CoverageConfig::repo_default()
     }
+}
+
+fn span_config() -> CoverageConfig {
+    // `span_schema` has no emitter dirs to begin with.
+    CoverageConfig::span_schema()
 }
 
 /// Removes every match arm / array entry referencing the given
@@ -76,7 +98,7 @@ fn baseline_scratch_tree_passes() {
 
 #[test]
 fn deleting_an_arm_from_any_surface_fails_the_analyzer() {
-    for (i, file) in FILES.iter().enumerate() {
+    for (i, file) in TRACE_SURFACE_FILES.iter().enumerate() {
         let dir = scratch(&format!("covmut-arm-{i}"));
         let path = dir.join(file);
         let orig = fs::read_to_string(&path).unwrap();
@@ -98,7 +120,7 @@ fn deleting_an_arm_from_any_surface_fails_the_analyzer() {
 /// the engine kinds.
 #[test]
 fn deleting_a_fleet_arm_from_any_surface_fails_the_analyzer() {
-    for (i, file) in FILES.iter().enumerate() {
+    for (i, file) in TRACE_SURFACE_FILES.iter().enumerate() {
         let dir = scratch(&format!("covmut-fleet-arm-{i}"));
         let path = dir.join(file);
         let orig = fs::read_to_string(&path).unwrap();
@@ -171,6 +193,61 @@ fn fleet_kinds_are_dead_without_the_fleet_emitter() {
             summary.dead
         );
     }
+}
+
+/// The span layer's `Phase` enum is schema too: deleting a phase arm from
+/// the name map, the `ALL` enumeration or the span exporter's color map
+/// must fail the analyzer, exactly like a `TraceKind` arm.
+#[test]
+fn deleting_a_phase_arm_from_any_surface_fails_the_analyzer() {
+    for (i, file) in PHASE_SURFACE_FILES.iter().enumerate() {
+        let dir = scratch(&format!("covmut-phase-arm-{i}"));
+        let path = dir.join(file);
+        let orig = fs::read_to_string(&path).unwrap();
+        let mutated = delete_kind(&orig, "Phase::HedgeWait");
+        assert_ne!(orig, mutated, "{file}: mutation must change the file");
+        fs::write(&path, mutated).unwrap();
+        let (diags, _) = analyze(&dir, &span_config());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.lint == "trace-coverage" && d.message.contains("HedgeWait")),
+            "{file}: analyzer missed the deleted phase arm: {diags:?}"
+        );
+    }
+}
+
+/// A wildcard arm swallowing a phase in the span exporter satisfies rustc
+/// but must fail the analyzer: it is exactly how the next phase would
+/// silently render uncolored.
+#[test]
+fn replacing_a_phase_arm_with_a_wildcard_is_flagged() {
+    let dir = scratch("covmut-phase-wildcard");
+    let path = dir.join("crates/obs/src/span_export.rs");
+    let orig = fs::read_to_string(&path).unwrap();
+    let mutated = orig.replace("Phase::DeadWait => \"grey\",", "_ => \"grey\",");
+    assert_ne!(orig, mutated, "the phase_color DeadWait arm moved?");
+    fs::write(&path, mutated).unwrap();
+    let (diags, _) = analyze(&dir, &span_config());
+    assert!(
+        diags.iter().any(|d| d.message.contains("wildcard")),
+        "{diags:?}"
+    );
+    assert!(
+        diags.iter().any(|d| d.message.contains("DeadWait")),
+        "{diags:?}"
+    );
+}
+
+/// The baseline scratch tree passes the span schema too.
+#[test]
+fn baseline_scratch_tree_passes_the_span_schema() {
+    let dir = scratch("covmut-phase-baseline");
+    let (diags, summary) = analyze(&dir, &span_config());
+    assert!(diags.is_empty(), "{diags:?}");
+    assert_eq!(summary.enum_name, "Phase");
+    assert!(summary.variants.contains(&"HedgeWait".to_string()));
+    assert_eq!(summary.variants.len(), 9, "Phase variant count drifted");
 }
 
 #[test]

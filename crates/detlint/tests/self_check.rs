@@ -15,10 +15,16 @@ fn workspace_is_clean_under_its_own_gate() {
         "scanned only {} files — scope misconfigured?",
         report.files_scanned
     );
-    let cov = report.coverage.as_ref().expect("coverage analysis ran");
+    assert_eq!(report.coverage.len(), 2, "a coverage schema was dropped");
+    let cov = &report.coverage[0];
+    assert_eq!(cov.enum_name, "TraceKind");
     assert!(cov.variants.len() >= 16, "TraceKind lost variants?");
-    assert_eq!(cov.surfaces.len(), 5, "a coverage surface was dropped");
+    assert_eq!(cov.surfaces.len(), 6, "a TraceKind coverage surface was dropped");
     assert!(cov.dead.is_empty(), "dead trace codes: {:?}", cov.dead);
+    let span = &report.coverage[1];
+    assert_eq!(span.enum_name, "Phase");
+    assert!(span.variants.len() >= 9, "Phase lost variants?");
+    assert_eq!(span.surfaces.len(), 3, "a Phase coverage surface was dropped");
     // The justified waivers (bench wall-clocks, the cross-thread
     // determinism test) must stay visible in the report, not vanish.
     assert!(report.allowed().count() >= 2);

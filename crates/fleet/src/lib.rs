@@ -43,5 +43,5 @@ pub use cluster::{
     fleet_audit, Cluster, FleetConfig, FleetSummary, ShardFault, ShardShed, ShardSummary,
 };
 pub use hedge::{HedgeConfig, HedgeEstimator};
-pub use parallel::ParallelCluster;
+pub use parallel::{ParallelCluster, ParallelHealth, WorkerHealth};
 pub use scenario::{BrownoutSpec, FleetScenario};

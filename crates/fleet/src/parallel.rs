@@ -484,6 +484,102 @@ pub struct ParallelCluster {
     threads: usize,
 }
 
+/// Wall-clock read for driver *health telemetry only*. The value never
+/// feeds the simulation, its event order, or any result — health numbers
+/// live outside [`FleetSummary`] and the deterministic trace entirely.
+#[allow(clippy::disallowed_methods)]
+fn wall_now() -> std::time::Instant {
+    // detlint::allow(wall-clock, reason = "driver health telemetry: per-worker busy/idle wall time is reported out-of-band in ParallelHealth and never influences simulation state, event order, or results -- bit-identity is property-tested in tests/prop_parallel.rs")
+    std::time::Instant::now()
+}
+
+/// Wall-clock busy/idle accounting for one phase worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerHealth {
+    /// Phase jobs this worker ran.
+    pub jobs: u64,
+    /// Wall nanoseconds spent inside `run_phase`.
+    pub busy_ns: u64,
+    /// Wall nanoseconds spent stalled on the job channel (including the
+    /// final wait for shutdown while the coordinator replays and
+    /// aggregates).
+    pub idle_ns: u64,
+}
+
+/// Health counters for one parallel drive: how wide the
+/// conservative-sync windows actually were, how often the lookahead
+/// horizon (rather than the window boundary) limited them, and where the
+/// worker pool's wall time went.
+///
+/// Two kinds of numbers live here, deliberately **outside** the
+/// [`FleetSummary`] and the metrics registry (which are bit-compared
+/// against the interleaved driver):
+///
+/// * *Deterministic* sim-side stats — batches, jobs, window widths in
+///   virtual nanoseconds, horizon-limited counts — identical across
+///   reruns and worker counts.
+/// * *Wall-clock* stats — per-worker and coordinator busy/stall time —
+///   which vary run to run and exist to answer the ROADMAP question
+///   "where does the parallel speedup go?".
+///
+/// [`ParallelHealth::publish`] writes both as gauges into an observer on
+/// demand (the `latency_breakdown` bench does this); nothing publishes
+/// them implicitly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParallelHealth {
+    /// Worker threads the drive was configured to use.
+    pub workers_configured: u64,
+    /// Parallel window batches formed.
+    pub batches: u64,
+    /// Phase jobs dispatched (≤ shards per batch).
+    pub jobs: u64,
+    /// Sum over jobs of the window width `horizon − f0` (virtual ns).
+    pub window_ns_sum: u64,
+    /// Widest single window (virtual ns).
+    pub window_ns_max: u64,
+    /// Jobs whose horizon was clipped by lookahead (next admission/fault
+    /// or `f0 + one_way`) rather than the warm-up/run boundary — the
+    /// windows the ROADMAP item "scale the parallel fleet wins" would
+    /// need to widen.
+    pub horizon_limited: u64,
+    /// Coordinator wall nanoseconds inside `run_phase` (helping).
+    pub coord_busy_ns: u64,
+    /// Coordinator wall nanoseconds blocked on worker results.
+    pub coord_wait_ns: u64,
+    /// Per-worker accounting, indexed by worker.
+    pub workers: Vec<WorkerHealth>,
+}
+
+impl ParallelHealth {
+    /// Mean conservative-sync window width in virtual nanoseconds.
+    pub fn window_ns_mean(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.window_ns_sum as f64 / self.jobs as f64
+        }
+    }
+
+    /// Publishes every health number as gauges (`parallel_*`) into an
+    /// observer. Opt-in: wall-clock gauges are nondeterministic, so this
+    /// must never run inside a bit-compared pipeline.
+    pub fn publish(&self, obs: &mut dyn Observer) {
+        obs.gauge("parallel_workers", self.workers_configured as f64);
+        obs.gauge("parallel_batches", self.batches as f64);
+        obs.gauge("parallel_jobs", self.jobs as f64);
+        obs.gauge("parallel_window_ns_mean", self.window_ns_mean());
+        obs.gauge("parallel_window_ns_max", self.window_ns_max as f64);
+        obs.gauge("parallel_horizon_limited", self.horizon_limited as f64);
+        obs.gauge("parallel_coord_busy_ns", self.coord_busy_ns as f64);
+        obs.gauge("parallel_coord_wait_ns", self.coord_wait_ns as f64);
+        for (i, w) in self.workers.iter().enumerate() {
+            obs.gauge(&format!("parallel_worker{i}_jobs"), w.jobs as f64);
+            obs.gauge(&format!("parallel_worker{i}_busy_ns"), w.busy_ns as f64);
+            obs.gauge(&format!("parallel_worker{i}_idle_ns"), w.idle_ns as f64);
+        }
+    }
+}
+
 impl ParallelCluster {
     /// Creates a parallel cluster from its configuration. Thread count
     /// defaults to [`configured_threads`] (the `ASYNCINV_THREADS`
@@ -530,10 +626,24 @@ impl ParallelCluster {
     /// Runs with structured tracing, returning the [`Recorder`]. The
     /// trace is bit-identical to [`Cluster::run_traced`]'s.
     pub fn run_traced(&self, kind: ServerKind) -> (FleetSummary, Recorder) {
+        let (summary, rec, _) = self.run_traced_health(kind);
+        (summary, rec)
+    }
+
+    /// [`ParallelCluster::run`] plus the driver's [`ParallelHealth`].
+    pub fn run_health(&self, kind: ServerKind) -> (FleetSummary, ParallelHealth) {
+        let mut obs = NoopObserver;
+        self.drive_health(&vec![kind; self.cfg.shards], &mut obs)
+    }
+
+    /// [`ParallelCluster::run_traced`] plus the driver's
+    /// [`ParallelHealth`]. The trace and summary stay bit-identical to the
+    /// interleaved driver's; only the health sidecar is extra.
+    pub fn run_traced_health(&self, kind: ServerKind) -> (FleetSummary, Recorder, ParallelHealth) {
         let mut rec =
             Recorder::with_sampling(self.cfg.cell.trace_capacity, self.cfg.cell.trace_sample);
-        let summary = self.run_observed(kind, &mut rec);
-        (summary, rec)
+        let (summary, health) = self.drive_health(&vec![kind; self.cfg.shards], &mut rec);
+        (summary, rec, health)
     }
 
     /// Runs a homogeneous fleet reporting into a caller-supplied observer.
@@ -542,12 +652,21 @@ impl ParallelCluster {
     }
 
     fn drive(&self, kinds: &[ServerKind], obs: &mut dyn Observer) -> FleetSummary {
+        self.drive_health(kinds, obs).0
+    }
+
+    fn drive_health(
+        &self,
+        kinds: &[ServerKind],
+        obs: &mut dyn Observer,
+    ) -> (FleetSummary, ParallelHealth) {
         assert_eq!(kinds.len(), self.cfg.shards, "one architecture per shard");
         if self.cfg.shards == 1 {
             // One shard applies request specs inline at route time (the
             // bare-engine bit-identity contract), so its machine lane is
             // not phase-pure — and there is nothing to parallelize.
-            return Cluster::new(self.cfg.clone()).drive(kinds, obs);
+            let summary = Cluster::new(self.cfg.clone()).drive(kinds, obs);
+            return (summary, ParallelHealth::default());
         }
         let threads = if self.threads == 0 {
             configured_threads()
@@ -563,7 +682,7 @@ impl ParallelCluster {
         kinds: &[ServerKind],
         obs: &mut dyn Observer,
         threads: usize,
-    ) -> FleetSummary {
+    ) -> (FleetSummary, ParallelHealth) {
         let cfg = &self.cfg;
         let cell = &cfg.cell;
         let n = cell.clients.concurrency;
@@ -1154,23 +1273,38 @@ impl ParallelCluster {
         // borrow the profile. Jobs carry shard cores by move; results
         // carry them back — exclusive ownership at every instant.
         let workers = threads.min(n_shards).max(1);
+        let mut health = ParallelHealth {
+            workers_configured: workers as u64,
+            ..ParallelHealth::default()
+        };
+        let (health_tx, health_rx) = mpsc::channel::<(usize, WorkerHealth)>();
         // detlint::allow(thread-spawn, reason = "conservative-sync phase workers: each advances one shard's machine below a horizon that provably excludes cross-shard influence, and the replay step re-derives the interleaved event order bitwise -- property-tested in tests/prop_parallel.rs")
-        std::thread::scope(|scope| {
+        let summary = std::thread::scope(|scope| {
             let mut job_tx: Vec<mpsc::Sender<PhaseJob>> = Vec::new();
             let (res_tx, res_rx) = mpsc::channel::<PhaseOut>();
             if workers > 1 {
                 let profile = &cell.profile;
-                for _ in 0..workers {
+                for w in 0..workers {
                     let (tx, rx) = mpsc::channel::<PhaseJob>();
                     job_tx.push(tx);
                     let res_tx = res_tx.clone();
+                    let health_tx = health_tx.clone();
                     scope.spawn(move || {
-                        while let Ok(job) = rx.recv() {
+                        let mut wh = WorkerHealth::default();
+                        loop {
+                            let wait = wall_now();
+                            let job = rx.recv();
+                            wh.idle_ns += wait.elapsed().as_nanos() as u64;
+                            let Ok(job) = job else { break };
+                            let busy = wall_now();
                             let out = run_phase(job, profile, obs_on);
+                            wh.busy_ns += busy.elapsed().as_nanos() as u64;
+                            wh.jobs += 1;
                             if res_tx.send(out).is_err() {
                                 break;
                             }
                         }
+                        let _ = health_tx.send((w, wh));
                     });
                 }
             }
@@ -1308,6 +1442,13 @@ impl ParallelCluster {
                             real.push((sl.t, sl.seq, sl.ev));
                         }
                         if !real.is_empty() {
+                            health.jobs += 1;
+                            let width = h.saturating_sub(f0);
+                            health.window_ns_sum += width;
+                            health.window_ns_max = health.window_ns_max.max(width);
+                            if h < boundary {
+                                health.horizon_limited += 1;
+                            }
                             jobs.push(PhaseJob {
                                 shard: s,
                                 core: cores[s].take().expect("core checked in"),
@@ -1317,6 +1458,7 @@ impl ParallelCluster {
                         }
                     }
                     if !jobs.is_empty() {
+                        health.batches += 1;
                         let expect = jobs.len();
                         // The coordinator helps: it keeps one job of every
                         // batch for itself instead of idling on `recv` —
@@ -1331,15 +1473,23 @@ impl ParallelCluster {
                                     .send(job)
                                     .expect("phase worker alive");
                             }
+                            let busy = wall_now();
                             let mut outs = vec![run_phase(mine, &cell.profile, obs_on)];
+                            health.coord_busy_ns += busy.elapsed().as_nanos() as u64;
+                            let wait = wall_now();
                             outs.extend(
                                 (1..expect).map(|_| res_rx.recv().expect("phase worker alive")),
                             );
+                            health.coord_wait_ns += wait.elapsed().as_nanos() as u64;
                             outs
                         } else {
-                            jobs.into_iter()
+                            let busy = wall_now();
+                            let outs = jobs
+                                .into_iter()
                                 .map(|job| run_phase(job, &cell.profile, obs_on))
-                                .collect()
+                                .collect();
+                            health.coord_busy_ns += busy.elapsed().as_nanos() as u64;
+                            outs
                         };
                         for out in outs {
                             let s = out.shard;
@@ -1802,6 +1952,15 @@ impl ParallelCluster {
             };
 
             FleetSummary { fleet, per_shard }
-        })
+        });
+        // `scope` joined every worker, so each has sent its accounting.
+        drop(health_tx);
+        if workers > 1 {
+            health.workers = vec![WorkerHealth::default(); workers];
+            while let Ok((w, wh)) = health_rx.try_recv() {
+                health.workers[w] = wh;
+            }
+        }
+        (summary, health)
     }
 }

@@ -24,6 +24,13 @@
 //!   loadable in Perfetto/`about:tracing`) and JSON Lines.
 //! * [`audit`](fn@audit) — recomputes the paper-table quantities from the
 //!   trace and asserts they match the engine's `RunSummary` bit-for-bit.
+//! * [`span`]/[`critical_path`] — folds the flat event stream into one
+//!   causal span tree per logical request (attempt children across
+//!   retries, shards and hedges) and attributes each request's
+//!   end-to-end response time to phases, bitwise-conserved;
+//!   [`span_audit`](fn@span_audit) reconciles the forest against the
+//!   exact per-kind totals and [`span_export`] renders nested
+//!   Chrome-trace async spans and a spans JSONL format.
 //!
 //! See `docs/observability.md` for the event schema and exporter formats.
 //!
@@ -40,16 +47,25 @@
 #![warn(missing_debug_implementations)]
 
 mod audit;
+pub mod critical_path;
 mod event;
 pub mod export;
 mod hist;
 mod observer;
 mod registry;
 mod ring;
+pub mod span;
+pub mod span_export;
 
 pub use audit::{audit, disposition, AuditCheck, AuditReport, Disposition};
+pub use critical_path::{classify, Phase, PhaseBreakdown, PhaseSegment, Step};
 pub use event::{TraceEvent, TraceKind, NONE};
 pub use hist::LogHistogram;
 pub use observer::{NoopObserver, Observer, Recorder};
 pub use registry::MetricsRegistry;
 pub use ring::TraceRing;
+pub use span::{
+    span_audit, AttemptKind, AttemptOutcome, AttemptSpan, LeftoverCounts, RequestSpan,
+    SpanAssembler, SpanAuditReport, SpanCheck, SpanForest, SpanStatus,
+};
+pub use span_export::{phase_color, spans_chrome_json, spans_jsonl, validate_span_trace};

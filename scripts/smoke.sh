@@ -15,7 +15,7 @@ echo "== build (release) =="
 cargo build --release
 
 echo "== static analysis: detlint (determinism + trace-schema coverage) =="
-cargo run --release -p detlint -- check --json detlint-report.json
+cargo run --release -p detlint -- check --json results/detlint-report.json
 
 echo "== static analysis: clippy mirror (disallowed methods/types) =="
 cargo clippy -q --workspace --all-targets
@@ -39,6 +39,16 @@ cargo run --release -p asyncinv-bench --bin trace_audit -- \
 echo "== trace audit (counters vs trace, all architectures) =="
 cargo run --release -p asyncinv-bench --bin trace_audit -- --quick
 
+echo "== span audit (causal span trees, all architectures x balancers, both drivers) =="
+cargo run --release -p asyncinv-bench --bin span_audit -- --quick
+
+echo "== latency breakdown (critical-path phase attribution + span exporter round-trip) =="
+cargo run --release -p asyncinv-bench --bin latency_breakdown -- \
+    --quick --json "$obs_dir/latency_breakdown.quick.json" --trace-out "$obs_dir"
+test -s "$obs_dir/latency_breakdown.quick.json"
+cargo run --release -p asyncinv-bench --bin span_audit -- \
+    --validate-spans "$obs_dir/latency_breakdown.spans.trace.json"
+
 echo "== resilience: checked-in fault scenario, traced + audited =="
 cargo run --release -p asyncinv-bench --bin resilience -- \
     --quick --scenario scenarios/retry_storm.json
@@ -49,8 +59,8 @@ cargo run --release -p asyncinv-bench --bin fleet -- \
 
 echo "== fleet: balancer x shard-count x fault sweep, JSON artifact =="
 cargo run --release -p asyncinv-bench --bin fleet -- \
-    --quick --json fleet-sweep.json
-test -s fleet-sweep.json
+    --quick --json results/fleet-sweep.json
+test -s results/fleet-sweep.json
 
 echo "== parallel fleet: conservative-sync driver == interleaved, bitwise =="
 cargo test -q --release --test prop_parallel
