@@ -75,6 +75,19 @@ struct ParallelFleetBench {
     rows: Vec<ParallelFleetRow>,
 }
 
+/// Wall-clock of the untraced (size, concurrency) grid on the proactor
+/// versus the reactor it shadows (NettyLike): the SQ/CQ ring emulation —
+/// staging, flush batching, reap loops — must not make the eighth
+/// architecture disproportionately expensive to simulate. The committed
+/// baseline gates the ratio at <= 1.5x.
+#[derive(Debug, Serialize)]
+struct ProactorRow {
+    cells: usize,
+    netty_ms: f64,
+    proactor_ms: f64,
+    ratio: f64,
+}
+
 /// Wall-clock cost of observability: the same grid untraced (NoopObserver,
 /// the default) and with full tracing into a `Recorder`.
 #[derive(Debug, Serialize)]
@@ -124,6 +137,7 @@ struct FaultRow {
 struct KernelBench {
     hold: Vec<HoldRow>,
     grid: Vec<GridRow>,
+    proactor: ProactorRow,
     runner: Vec<RunnerRow>,
     parallel_fleet: ParallelFleetBench,
     observability: ObsRow,
@@ -256,6 +270,42 @@ fn main() {
         });
     }
     println!("\nfixed Quick cell grid, serial, per backend:\n{grid_table}");
+
+    // --- 2b. Proactor row: the untraced grid combos on the ring vs Netty. ---
+    let combos: Vec<(usize, usize)> = {
+        let mut seen = Vec::new();
+        for &(_, size, conc) in &cells {
+            if !seen.contains(&(size, conc)) {
+                seen.push((size, conc));
+            }
+        }
+        seen
+    };
+    let time_kind = |kind: ServerKind| {
+        let start = Instant::now();
+        for &(size, conc) in &combos {
+            std::hint::black_box(Experiment::new(Fidelity::Quick.micro(conc, size)).run(kind));
+        }
+        start.elapsed().as_secs_f64() * 1e3
+    };
+    let netty_ms = time_kind(ServerKind::NettyLike);
+    let proactor_ms = time_kind(ServerKind::Proactor);
+    let proactor = ProactorRow {
+        cells: combos.len(),
+        netty_ms,
+        proactor_ms,
+        ratio: proactor_ms / netty_ms.max(1e-9),
+    };
+    println!(
+        "\nproactor: {} cells untraced  netty {:.0} ms  proactor {:.0} ms  ratio {:.2}",
+        proactor.cells, netty_ms, proactor_ms, proactor.ratio
+    );
+    if proactor.ratio > 1.5 {
+        eprintln!(
+            "warning: proactor grid ratio {:.2} exceeds the 1.5x budget",
+            proactor.ratio
+        );
+    }
 
     // --- 3. Parallel runner speedup on the same grid, per thread count. ---
     let host_cores = configured_threads();
@@ -453,6 +503,7 @@ fn main() {
     let report = KernelBench {
         hold,
         grid: grid_rows,
+        proactor,
         runner,
         parallel_fleet,
         observability,

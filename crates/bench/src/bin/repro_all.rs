@@ -12,7 +12,7 @@
 
 use std::process::Command;
 
-const ARTIFACTS: [&str; 22] = [
+const ARTIFACTS: [&str; 23] = [
     "trace_audit",
     "table2_cs_per_request",
     "table4_write_spin",
@@ -35,6 +35,7 @@ const ARTIFACTS: [&str; 22] = [
     "ablation_http2_push",
     "ablation_loss",
     "ablation_web_mix",
+    "proactor_sweep",
 ];
 
 fn main() {

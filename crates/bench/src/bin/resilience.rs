@@ -27,7 +27,7 @@
 
 use asyncinv::fault::{FaultEvent, FaultKind, FaultPlan};
 use asyncinv::obs::{audit, Observer, TraceEvent, TraceKind};
-use asyncinv::workload::RetryPolicy;
+use asyncinv::workload::{RetryPolicy, TimeoutMode};
 use asyncinv::{
     fmt_f64, Experiment, ExperimentConfig, ServerKind, ShedConfig, ShedPolicy, SimDuration,
     SimTime, Table,
@@ -176,6 +176,19 @@ fn policies(timeout: SimDuration) -> Vec<(&'static str, RetryPolicy)> {
                 max_retries: 5,
                 budget_ratio: 0.2,
                 budget_cap: 10.0,
+                ..base
+            },
+        ),
+        // Jacobson/Karels adaptive timeout: starts from the calibrated
+        // value, tracks SRTT+4·RTTVAR online, and Karn-doubles across
+        // consecutive timeouts — so the fault window widens the timeout
+        // instead of hammering a stormed server with fixed-deadline
+        // retries.
+        (
+            "retry+rto",
+            RetryPolicy {
+                max_retries: 5,
+                timeout_mode: TimeoutMode::Rto,
                 ..base
             },
         ),

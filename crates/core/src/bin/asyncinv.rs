@@ -62,6 +62,7 @@ fn flag_name(k: ServerKind) -> &'static str {
         ServerKind::NettyLike => "netty",
         ServerKind::Hybrid => "hybrid",
         ServerKind::Staged => "staged",
+        ServerKind::Proactor => "proactor",
     }
 }
 

@@ -48,8 +48,8 @@ pub use asyncinv_metrics::{
     RunSummary, Series, SweepPoint, Table, ThroughputWindow,
 };
 pub use asyncinv_servers::{
-    Ctx, EngineEvent, Experiment, ExperimentConfig, ServerKind, ServerModel, ServiceProfile,
-    ShedConfig, ShedPolicy,
+    Ctx, EngineEvent, Experiment, ExperimentConfig, HybridPath, ServerKind, ServerModel,
+    ServiceProfile, ShedConfig, ShedPolicy,
 };
 pub use asyncinv_simcore::{BackendKind, SimDuration, SimRng, SimTime};
 
@@ -102,8 +102,8 @@ pub mod obs {
 pub mod workload {
     pub use asyncinv_workload::{
         ArrivalMode, ClientConfig, ClientEvent, ClientPool, Mix, PushModel, RequestClass,
-        RequestSpec, RetryBudget, RetryPolicy, SizeDrift, Station,
-        StationEvent, ThinkTime, UserId, ZipfSampler,
+        RequestSpec, RetryBudget, RetryPolicy, RtoEstimator, SizeDrift, Station,
+        StationEvent, ThinkTime, TimeoutMode, UserId, ZipfSampler,
     };
 }
 

@@ -323,6 +323,9 @@ impl CpuModel {
             !burst.duration.is_zero(),
             "zero-length bursts are not allowed; skip the submit instead"
         );
+        if burst.kind == BurstKind::Syscall {
+            self.stats.syscall_bursts += 1;
+        }
         let mut burst = burst;
         if self.slowdown != 1.0 {
             let ns = (burst.duration.as_nanos() as f64 * self.slowdown).ceil() as u64;

@@ -25,6 +25,12 @@ pub struct CpuStats {
     /// Ready threads migrated off their home core (per-core policy with
     /// stealing).
     pub steals: u64,
+    /// Syscall-kind burst submissions — each is one modeled kernel
+    /// crossing (user→kernel entry). The proactor architecture's batched
+    /// submission exists to shrink this count; tracking it here makes
+    /// "kernel crossings per request" a uniform metric across every
+    /// architecture.
+    pub syscall_bursts: u64,
 }
 
 impl CpuStats {
@@ -61,6 +67,7 @@ impl CpuStats {
             sys_time: self.sys_time - earlier.sys_time,
             threads_spawned: self.threads_spawned - earlier.threads_spawned,
             steals: self.steals - earlier.steals,
+            syscall_bursts: self.syscall_bursts - earlier.syscall_bursts,
         }
     }
 }

@@ -526,6 +526,11 @@ impl Cluster {
             ($now:expr, $s:expr, $method:ident $(, $arg:expr)*) => {{
                 let sh = &mut shards[$s];
                 let mut sobs = ShardObs { inner: &mut *obs, base: sh.thread_base };
+                // Engine-mirror shed_active: this shard's shedder is
+                // saturated (slots full or arrivals queued).
+                let shed_active = sh
+                    .shed
+                    .is_some_and(|sc| sh.serving_count >= sc.max_concurrent || !sh.accept_q.is_empty());
                 let mut cx = Ctx::for_driver(
                     $now,
                     &mut sh.cpu,
@@ -536,6 +541,7 @@ impl Cluster {
                     &mut sh.tcp_out,
                     &mut sobs,
                     obs_on,
+                    shed_active,
                 );
                 sh.server.$method(&mut cx $(, $arg)*);
             }};
@@ -1033,6 +1039,10 @@ impl Cluster {
         let mut cpu_snap: Vec<_> = shards.iter().map(|sh| *sh.cpu.stats()).collect();
         let mut tcp_snap: Vec<_> = shards.iter().map(|sh| sh.tcp.stats()).collect();
         let mut cnt_snap: Vec<Counters> = shards.iter().map(|sh| sh.cnt).collect();
+        let mut uring_snap: Vec<_> = shards
+            .iter()
+            .map(|sh| sh.server.uring_stats().unwrap_or_default())
+            .collect();
         let mut snapped = false;
         let mut timeouts_snap: u64 = 0;
         let mut retries_snap: u64 = 0;
@@ -1049,6 +1059,7 @@ impl Cluster {
                     cpu_snap[s] = *sh.cpu.stats();
                     tcp_snap[s] = sh.tcp.stats();
                     cnt_snap[s] = sh.cnt;
+                    uring_snap[s] = sh.server.uring_stats().unwrap_or_default();
                 }
                 timeouts_snap = timeouts;
                 retries_snap = retries;
@@ -1305,6 +1316,11 @@ impl Cluster {
         let mut total_steals = 0u64;
         let mut writes = 0u64;
         let mut spins = 0u64;
+        let mut bursts = 0u64;
+        let mut sq_submits = 0u64;
+        let mut sq_flushes = 0u64;
+        let mut cq_reaps = 0u64;
+        let mut sq_full = 0u64;
         let mut user_sum = 0.0;
         let mut sys_sum = 0.0;
         let mut util_sum = 0.0;
@@ -1315,11 +1331,17 @@ impl Cluster {
             let w = ts.write_calls - tcp_snap[s].write_calls;
             let z = ts.zero_writes - tcp_snap[s].zero_writes;
             let d = sh.cnt.delta(&cnt_snap[s]);
+            let ud = sh.server.uring_stats().unwrap_or_default().delta_since(&uring_snap[s]);
             total_cs += cd.context_switches;
             total_preempt += cd.preemptions;
             total_steals += cd.steals;
             writes += w;
             spins += z;
+            bursts += cd.syscall_bursts;
+            sq_submits += ud.sq_submits;
+            sq_flushes += ud.sq_flushes;
+            cq_reaps += ud.cq_reaps;
+            sq_full += ud.sq_full;
             user_sum += bd.user_pct() / 100.0;
             sys_sum += bd.sys_pct() / 100.0;
             util_sum += bd.utilization();
@@ -1372,6 +1394,10 @@ impl Cluster {
             obs.counter("rejected", rejected_total);
             obs.counter("shed_dropped", shed_total);
             obs.counter("fault_events", fault_total);
+            obs.counter("sq_submits", sq_submits);
+            obs.counter("sq_flushes", sq_flushes);
+            obs.counter("cq_reaps", cq_reaps);
+            obs.counter("sq_full", sq_full);
             for (s, sh) in shards.iter().enumerate() {
                 for (name, v) in sh.server.debug_counters() {
                     if multi {
@@ -1385,6 +1411,7 @@ impl Cluster {
             obs.gauge("cs_per_req", per_req(total_cs));
             obs.gauge("writes_per_req", per_req(writes));
             obs.gauge("spins_per_req", per_req(spins));
+            obs.gauge("crossings_per_req", per_req(bursts));
             obs.gauge("cpu_user", user_sum / nf);
             obs.gauge("cpu_sys", sys_sum / nf);
             obs.gauge("cpu_idle", 1.0 - util_sum / nf);
@@ -1428,6 +1455,11 @@ impl Cluster {
             cs_per_req: per_req(total_cs),
             writes_per_req: per_req(writes),
             spins_per_req: per_req(spins),
+            sq_submits,
+            sq_flushes,
+            cq_reaps,
+            sq_full,
+            crossings_per_req: per_req(bursts),
             cpu: CpuShare {
                 user: user_sum / nf,
                 sys: sys_sum / nf,

@@ -245,6 +245,10 @@ fn machine_step(
                 &mut core.tcp_out,
                 obs,
                 obs_on,
+                // Machine lanes replay in phase workers with no shedder
+                // state; `Ctx::shed_active` is only guaranteed during
+                // `on_request`, which always runs on the coordinator.
+                false,
             );
             core.server.$method(&mut cx $(, $arg)*);
         }};
@@ -822,6 +826,10 @@ impl ParallelCluster {
                     &mut sh.tcp_out,
                     &mut sobs,
                     obs_on,
+                    ctls[$s].shed.is_some_and(|sc| {
+                        ctls[$s].serving_count >= sc.max_concurrent
+                            || !ctls[$s].accept_q.is_empty()
+                    }),
                 );
                 sh.server.$method(&mut cx $(, $arg)*);
             }};
@@ -1353,6 +1361,16 @@ impl ParallelCluster {
                 .map(|c| c.as_ref().expect("core checked in").tcp.stats())
                 .collect();
             let mut cnt_snap: Vec<Counters> = ctls.iter().map(|c| c.cnt).collect();
+            let mut uring_snap: Vec<_> = cores
+                .iter()
+                .map(|c| {
+                    c.as_ref()
+                        .expect("core checked in")
+                        .server
+                        .uring_stats()
+                        .unwrap_or_default()
+                })
+                .collect();
             let mut snapped = false;
             let mut timeouts_snap: u64 = 0;
             let mut retries_snap: u64 = 0;
@@ -1395,6 +1413,7 @@ impl ParallelCluster {
                         cpu_snap[s] = *sh.cpu.stats();
                         tcp_snap[s] = sh.tcp.stats();
                         cnt_snap[s] = ctls[s].cnt;
+                        uring_snap[s] = sh.server.uring_stats().unwrap_or_default();
                     }
                     timeouts_snap = timeouts;
                     retries_snap = retries;
@@ -1810,6 +1829,11 @@ impl ParallelCluster {
             let mut total_steals = 0u64;
             let mut writes = 0u64;
             let mut spins = 0u64;
+            let mut bursts = 0u64;
+            let mut sq_submits = 0u64;
+            let mut sq_flushes = 0u64;
+            let mut cq_reaps = 0u64;
+            let mut sq_full = 0u64;
             let mut user_sum = 0.0;
             let mut sys_sum = 0.0;
             let mut util_sum = 0.0;
@@ -1821,11 +1845,17 @@ impl ParallelCluster {
                 let w = ts.write_calls - tcp_snap[s].write_calls;
                 let z = ts.zero_writes - tcp_snap[s].zero_writes;
                 let d = ctls[s].cnt.delta(&cnt_snap[s]);
+                let ud = sh.server.uring_stats().unwrap_or_default().delta_since(&uring_snap[s]);
                 total_cs += cd.context_switches;
                 total_preempt += cd.preemptions;
                 total_steals += cd.steals;
                 writes += w;
                 spins += z;
+                bursts += cd.syscall_bursts;
+                sq_submits += ud.sq_submits;
+                sq_flushes += ud.sq_flushes;
+                cq_reaps += ud.cq_reaps;
+                sq_full += ud.sq_full;
                 user_sum += bd.user_pct() / 100.0;
                 sys_sum += bd.sys_pct() / 100.0;
                 util_sum += bd.utilization();
@@ -1878,6 +1908,10 @@ impl ParallelCluster {
                 obs.counter("rejected", rejected_total);
                 obs.counter("shed_dropped", shed_total);
                 obs.counter("fault_events", fault_total);
+                obs.counter("sq_submits", sq_submits);
+                obs.counter("sq_flushes", sq_flushes);
+                obs.counter("cq_reaps", cq_reaps);
+                obs.counter("sq_full", sq_full);
                 for (s, core) in cores.iter().enumerate() {
                     let sh = core.as_ref().expect("core checked in");
                     for (name, v) in sh.server.debug_counters() {
@@ -1888,6 +1922,7 @@ impl ParallelCluster {
                 obs.gauge("cs_per_req", per_req(total_cs));
                 obs.gauge("writes_per_req", per_req(writes));
                 obs.gauge("spins_per_req", per_req(spins));
+                obs.gauge("crossings_per_req", per_req(bursts));
                 obs.gauge("cpu_user", user_sum / nf);
                 obs.gauge("cpu_sys", sys_sum / nf);
                 obs.gauge("cpu_idle", 1.0 - util_sum / nf);
@@ -1931,6 +1966,11 @@ impl ParallelCluster {
                 cs_per_req: per_req(total_cs),
                 writes_per_req: per_req(writes),
                 spins_per_req: per_req(spins),
+                sq_submits,
+                sq_flushes,
+                cq_reaps,
+                sq_full,
+                crossings_per_req: per_req(bursts),
                 cpu: CpuShare {
                     user: user_sum / nf,
                     sys: sys_sum / nf,

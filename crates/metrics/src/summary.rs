@@ -135,6 +135,27 @@ pub struct RunSummary {
     /// the window.
     #[serde(default)]
     pub shard_retries: u64,
+    /// SQEs staged into proactor submission rings within the window.
+    /// Zero for the seven syscall-per-op architectures.
+    #[serde(default)]
+    pub sq_submits: u64,
+    /// Proactor `io_uring_enter` flush crossings within the window (each
+    /// is exactly one modeled kernel crossing, however many SQEs it
+    /// carried).
+    #[serde(default)]
+    pub sq_flushes: u64,
+    /// Proactor completion-ring reap passes within the window.
+    #[serde(default)]
+    pub cq_reaps: u64,
+    /// Staging attempts that hit a full submission ring (SQ-full
+    /// backpressure) within the window.
+    #[serde(default)]
+    pub sq_full: u64,
+    /// Modeled kernel crossings (syscall-burst submissions) per completed
+    /// request — the uniform metric the proactor's batched submission
+    /// moves, comparable across all architectures.
+    #[serde(default)]
+    pub crossings_per_req: f64,
     /// Per-request-class breakdown, in mix order.
     pub per_class: Vec<ClassSummary>,
 }

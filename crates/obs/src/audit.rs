@@ -182,6 +182,22 @@ pub fn disposition(kind: TraceKind) -> Disposition {
             check: "shard_retries",
             summary: |s| s.shard_retries,
         },
+        TraceKind::SqSubmit => Disposition::CounterEq {
+            check: "sq_submits",
+            summary: |s| s.sq_submits,
+        },
+        TraceKind::SqFlush => Disposition::CounterEq {
+            check: "sq_flushes",
+            summary: |s| s.sq_flushes,
+        },
+        TraceKind::CqReap => Disposition::CounterEq {
+            check: "cq_reaps",
+            summary: |s| s.cq_reaps,
+        },
+        TraceKind::SqFull => Disposition::CounterEq {
+            check: "sq_full",
+            summary: |s| s.sq_full,
+        },
     }
 }
 

@@ -33,6 +33,11 @@ use crate::event::TraceKind;
 /// here; `tests/prop_span.rs` asserts the two constants stay equal.
 pub const Q_ACCEPT_CODE: u64 = 6;
 
+/// Mirror of `asyncinv_uring::SQ_OP_WRITE` (the `SqSubmit` op code for a
+/// write SQE); restated here for the same dependency-order reason as
+/// [`Q_ACCEPT_CODE`], and equally pinned by `tests/prop_span.rs`.
+pub const SQ_OP_WRITE_CODE: u64 = 2;
+
 /// One attributed slice of a request's lifetime.
 ///
 /// Every nanosecond of every request's response time lands in exactly one
@@ -181,6 +186,25 @@ pub fn classify(kind: TraceKind, arg: u64) -> Step {
         TraceKind::Hedge => Step::Keep,
         TraceKind::HedgeCancel => Step::Keep,
         TraceKind::ShardRetry => Step::Keep,
+        // A write SQE staged means the response is built and heading for
+        // the socket: delivery begins (the flush + kernel push happen
+        // with no further conn-scoped boundary). A read SQE staged means
+        // the request is parked in the submission ring awaiting the
+        // batched flush — queue wait by another name.
+        TraceKind::SqSubmit => {
+            if arg == SQ_OP_WRITE_CODE {
+                Step::Enter(Phase::WriteDeliver)
+            } else {
+                Step::Enter(Phase::QueueWait)
+            }
+        }
+        // Ring-level events carry no conn id, so they never appear in a
+        // per-request stream; keep is the honest no-op.
+        TraceKind::SqFlush => Step::Keep,
+        TraceKind::CqReap => Step::Keep,
+        // Backpressure annotation: the SQE that hit the full ring stays
+        // in whatever phase its own SqSubmit enters right after.
+        TraceKind::SqFull => Step::Keep,
     }
 }
 

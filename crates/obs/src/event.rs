@@ -67,11 +67,25 @@ pub enum TraceKind {
     /// A cross-shard retry: the retried attempt was routed to a different
     /// shard than the one that failed; `arg` is the new shard index.
     ShardRetry,
+    /// A proactor staged one SQE into its submission ring; `arg` is the
+    /// operation code (1 = read, 2 = write — see
+    /// `asyncinv_uring::SQ_OP_READ`/`SQ_OP_WRITE`).
+    SqSubmit,
+    /// A proactor flushed its submission ring: one modeled
+    /// `io_uring_enter` kernel crossing; `arg` is the number of SQEs the
+    /// batch carried. Ring-level (no connection).
+    SqFlush,
+    /// A proactor drained its completion ring in one reap pass; `arg` is
+    /// the number of CQEs reaped. Ring-level (no connection).
+    CqReap,
+    /// A staging attempt found the submission ring full (SQ-full
+    /// backpressure); `arg` is the ring depth that was hit.
+    SqFull,
 }
 
 impl TraceKind {
     /// Number of kinds (for per-kind counter arrays).
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 24;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -95,6 +109,10 @@ impl TraceKind {
         TraceKind::Hedge,
         TraceKind::HedgeCancel,
         TraceKind::ShardRetry,
+        TraceKind::SqSubmit,
+        TraceKind::SqFlush,
+        TraceKind::CqReap,
+        TraceKind::SqFull,
     ];
 
     /// Stable index for per-kind counter arrays.
@@ -125,6 +143,10 @@ impl TraceKind {
             TraceKind::Hedge => "hedge",
             TraceKind::HedgeCancel => "hedge_cancel",
             TraceKind::ShardRetry => "shard_retry",
+            TraceKind::SqSubmit => "sq_submit",
+            TraceKind::SqFlush => "sq_flush",
+            TraceKind::CqReap => "cq_reap",
+            TraceKind::SqFull => "sq_full",
         }
     }
 }

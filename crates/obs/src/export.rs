@@ -53,6 +53,10 @@ pub fn chrome_cat(kind: TraceKind) -> &'static str {
         TraceKind::Hedge => "fleet",
         TraceKind::HedgeCancel => "fleet",
         TraceKind::ShardRetry => "fleet",
+        TraceKind::SqSubmit => "uring",
+        TraceKind::SqFlush => "uring",
+        TraceKind::CqReap => "uring",
+        TraceKind::SqFull => "uring",
     }
 }
 
@@ -82,6 +86,10 @@ pub fn jsonl_arg_key(kind: TraceKind) -> Option<&'static str> {
         TraceKind::Hedge => Some("hedge_delay_ns"),
         TraceKind::HedgeCancel => Some("shard"),
         TraceKind::ShardRetry => Some("shard"),
+        TraceKind::SqSubmit => Some("op"),
+        TraceKind::SqFlush => Some("sqes"),
+        TraceKind::CqReap => Some("cqes"),
+        TraceKind::SqFull => Some("depth"),
     }
 }
 
@@ -316,6 +324,7 @@ mod tests {
     fn every_kind_has_a_category_and_arg_keys_are_semantic() {
         let cats = [
             "engine", "queue", "sched", "tcp", "client", "server", "fault", "mark", "fleet",
+            "uring",
         ];
         for k in TraceKind::ALL {
             assert!(cats.contains(&chrome_cat(k)), "unknown category for {k:?}");

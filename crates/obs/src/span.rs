@@ -299,6 +299,7 @@ impl SpanAssembler {
                 | TraceKind::ThreadPark
                 | TraceKind::ThreadDispatch
                 | TraceKind::FaultInject
+                | TraceKind::SqFull
         ) {
             return;
         }

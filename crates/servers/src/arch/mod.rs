@@ -11,12 +11,14 @@
 
 mod async_pool;
 mod netty;
+mod proactor;
 mod single_thread;
 mod staged;
 mod sync_thread;
 
 pub(crate) use async_pool::AsyncPool;
 pub(crate) use netty::NettyLike;
+pub(crate) use proactor::Proactor;
 pub(crate) use single_thread::SingleThread;
 pub(crate) use staged::Staged;
 pub(crate) use sync_thread::SyncThread;
@@ -60,6 +62,14 @@ pub trait ServerModel: Send {
     fn debug_counters(&self) -> Vec<(&'static str, u64)> {
         Vec::new()
     }
+
+    /// Submission/completion ring counters, summed over the model's rings.
+    /// `None` for architectures without a proactor ring; the engine
+    /// windows the returned snapshot into [`RunSummary`](asyncinv_metrics::RunSummary)'s
+    /// `sq_*` fields.
+    fn uring_stats(&self) -> Option<asyncinv_uring::UringCounters> {
+        None
+    }
 }
 
 /// The six architectures measured in the paper.
@@ -87,11 +97,16 @@ pub enum ServerKind {
     /// thread pools (described but not benchmarked by the paper; included
     /// as an extension).
     Staged,
+    /// Proactor: completion-based I/O over an io_uring-style
+    /// submission/completion ring — batched kernel crossings, CQE-driven
+    /// writes, zero write-spin (an extension beyond the paper).
+    Proactor,
 }
 
 impl ServerKind {
-    /// All seven kinds: the paper's six plus the staged extension.
-    pub const ALL: [ServerKind; 7] = [
+    /// All eight kinds: the paper's six plus the staged and proactor
+    /// extensions.
+    pub const ALL: [ServerKind; 8] = [
         ServerKind::SyncThread,
         ServerKind::AsyncPool,
         ServerKind::AsyncPoolFix,
@@ -99,6 +114,7 @@ impl ServerKind {
         ServerKind::NettyLike,
         ServerKind::Hybrid,
         ServerKind::Staged,
+        ServerKind::Proactor,
     ];
 
     /// The six architectures the paper itself measures.
@@ -121,6 +137,7 @@ impl ServerKind {
             ServerKind::NettyLike => "NettyServer",
             ServerKind::Hybrid => "HybridNetty",
             ServerKind::Staged => "Staged-SEDA",
+            ServerKind::Proactor => "Proactor",
         }
     }
 
@@ -138,10 +155,18 @@ impl ServerKind {
             ServerKind::NettyLike => {
                 Box::new(NettyLike::new(cfg.netty_workers, cfg.write_spin_limit, false))
             }
-            ServerKind::Hybrid => {
-                Box::new(NettyLike::new(cfg.netty_workers, cfg.write_spin_limit, true))
-            }
+            ServerKind::Hybrid => match cfg.hybrid_heavy {
+                crate::engine::HybridPath::Netty => {
+                    Box::new(NettyLike::new(cfg.netty_workers, cfg.write_spin_limit, true))
+                }
+                crate::engine::HybridPath::Proactor => {
+                    Box::new(Proactor::new(cfg.netty_workers, cfg.uring.clone(), true))
+                }
+            },
             ServerKind::Staged => Box::new(Staged::new(cfg.staged_workers)),
+            ServerKind::Proactor => {
+                Box::new(Proactor::new(cfg.netty_workers, cfg.uring.clone(), false))
+            }
         }
     }
 }
@@ -178,8 +203,9 @@ mod tests {
     fn paper_names() {
         assert_eq!(ServerKind::SyncThread.paper_name(), "sTomcat-Sync");
         assert_eq!(ServerKind::Hybrid.to_string(), "HybridNetty");
-        assert_eq!(ServerKind::ALL.len(), 7);
+        assert_eq!(ServerKind::ALL.len(), 8);
         assert_eq!(ServerKind::PAPER.len(), 6);
         assert_eq!(ServerKind::Staged.paper_name(), "Staged-SEDA");
+        assert_eq!(ServerKind::Proactor.paper_name(), "Proactor");
     }
 }

@@ -88,6 +88,9 @@ pub(crate) struct NettyLike {
     queues: Vec<VecDeque<NEvent>>,
     busy: Vec<bool>,
     wstate: Vec<WState>,
+    /// Per-connection [`Ctx::shed_active`] sampled at admission; freezes
+    /// classification updates from requests admitted under overload.
+    shed_admit: Vec<bool>,
     /// Hybrid classification map: request class → is-heavy.
     classes: Vec<Option<bool>>,
     // Debug counters.
@@ -95,6 +98,7 @@ pub(crate) struct NettyLike {
     netty_requests: u64,
     reclass_to_heavy: u64,
     reclass_to_light: u64,
+    reclass_frozen: u64,
 }
 
 impl NettyLike {
@@ -109,11 +113,13 @@ impl NettyLike {
             queues: Vec::new(),
             busy: Vec::new(),
             wstate: Vec::new(),
+            shed_admit: Vec::new(),
             classes: Vec::new(),
             fast_requests: 0,
             netty_requests: 0,
             reclass_to_heavy: 0,
             reclass_to_light: 0,
+            reclass_frozen: 0,
         }
     }
 
@@ -204,7 +210,13 @@ impl NettyLike {
         self.classes.get(class).copied().flatten()
     }
 
-    fn learn(&mut self, class: usize, heavy: bool) {
+    /// Updates the classification map. Re-classification (a learned class
+    /// flipping) freezes for requests admitted while the load shedder was
+    /// active ([`Ctx::shed_active`] sampled at admission): under overload
+    /// every write stalls, so acting on write behaviour flaps the whole
+    /// map heavy and back — the storm transient would poison the learned
+    /// state for the recovery period.
+    fn learn(&mut self, frozen: bool, class: usize, heavy: bool) {
         if !self.hybrid {
             return;
         }
@@ -213,6 +225,10 @@ impl NettyLike {
         }
         match self.classes[class] {
             Some(prev) if prev != heavy => {
+                if frozen {
+                    self.reclass_frozen += 1;
+                    return;
+                }
                 if heavy {
                     self.reclass_to_heavy += 1;
                 } else {
@@ -241,9 +257,11 @@ impl ServerModel for NettyLike {
         self.queues = vec![VecDeque::new(); self.n_workers];
         self.busy = vec![false; self.n_workers];
         self.wstate = vec![WState::Idle; conns];
+        self.shed_admit = vec![false; conns];
     }
 
     fn on_request(&mut self, ctx: &mut Ctx<'_>, conn: ConnId) {
+        self.shed_admit[conn.0] = ctx.shed_active();
         let w = self.owner(conn);
         self.enqueue(ctx, w, NEvent::Readable(conn));
     }
@@ -311,7 +329,7 @@ impl ServerModel for NettyLike {
                 if job.remaining == 0 {
                     // Request fully handed to the kernel: profile it.
                     let heavy = job.spun || job.calls > 1;
-                    self.learn(job.class, heavy);
+                    self.learn(self.shed_admit[c], job.class, heavy);
                     self.wstate[c] = WState::Idle;
                     self.next_event(ctx, w);
                 } else if job.last_written == 0 {
@@ -320,7 +338,7 @@ impl ServerModel for NettyLike {
                     // rather than spinning unboundedly.
                     if job.fast {
                         job.fast = false;
-                        self.learn(job.class, true);
+                        self.learn(self.shed_admit[c], job.class, true);
                         ctx.emit(TraceKind::Mark, Some(conn), None, MARK_RECLASS_HEAVY);
                     }
                     ctx.emit(TraceKind::Mark, Some(conn), None, MARK_PARK_WRITABLE);
@@ -349,6 +367,7 @@ impl ServerModel for NettyLike {
             ("netty_requests", self.netty_requests),
             ("reclass_to_heavy", self.reclass_to_heavy),
             ("reclass_to_light", self.reclass_to_light),
+            ("reclass_frozen", self.reclass_frozen),
         ]
     }
 }

@@ -11,7 +11,8 @@ use asyncinv_simcore::{
 };
 use asyncinv_tcp::{ConnId, TcpConfig, TcpEvent, TcpNotice, TcpWorld};
 use asyncinv_workload::{
-    ClientConfig, ClientEvent, ClientPool, Mix, RetryBudget, RetryPolicy, ThinkTime, UserId,
+    ClientConfig, ClientEvent, ClientPool, Mix, RetryBudget, RetryPolicy, RtoEstimator, ThinkTime,
+    TimeoutMode, UserId,
 };
 use std::collections::VecDeque;
 
@@ -75,6 +76,27 @@ pub struct ExperimentConfig {
     /// backoff + jitter, retry budget). Disabled by default.
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Submission/completion ring geometry and cost curves for the
+    /// Proactor architecture (ignored by the seven syscall-per-op
+    /// architectures).
+    #[serde(default)]
+    pub uring: asyncinv_uring::UringConfig,
+    /// Which backend the HybridNetty router hands heavy requests to.
+    #[serde(default)]
+    pub hybrid_heavy: HybridPath,
+}
+
+/// Heavy-path backend selection for the HybridNetty router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum HybridPath {
+    /// Heavy requests run on the Netty-style event-loop workers
+    /// (the paper's HybridNetty).
+    #[default]
+    Netty,
+    /// Heavy requests are driven through the proactor's submission ring:
+    /// batched kernel crossings and CQE-driven writes instead of a
+    /// write-spin loop.
+    Proactor,
 }
 
 /// What the server does with an arrival that exceeds its capacity limits.
@@ -154,6 +176,8 @@ impl ExperimentConfig {
             faults: None,
             shed: None,
             retry: RetryPolicy::default(),
+            uring: asyncinv_uring::UringConfig::default(),
+            hybrid_heavy: HybridPath::default(),
         }
     }
 
@@ -231,6 +255,12 @@ pub struct Ctx<'a> {
     pub(crate) obs: &'a mut dyn Observer,
     /// Cached `obs.is_enabled()` so the disabled path is one local branch.
     pub(crate) obs_on: bool,
+    /// `true` while the engine's load shedder is saturated (service slots
+    /// exhausted or arrivals parked in the accept queue). Architectures
+    /// with adaptive policies (the hybrid router's reclassification) freeze
+    /// learning while this holds so overload transients don't poison the
+    /// learned state.
+    pub(crate) shed_active: bool,
 }
 
 impl std::fmt::Debug for Ctx<'_> {
@@ -260,6 +290,7 @@ impl<'a> Ctx<'a> {
         tcp_out: &'a mut Vec<(SimTime, TcpEvent)>,
         obs: &'a mut dyn Observer,
         obs_on: bool,
+        shed_active: bool,
     ) -> Self {
         Ctx {
             now,
@@ -271,6 +302,7 @@ impl<'a> Ctx<'a> {
             tcp_out,
             obs,
             obs_on,
+            shed_active,
         }
     }
 
@@ -343,6 +375,20 @@ impl<'a> Ctx<'a> {
     /// their [`Ctx::emit`] call sites with this to keep disabled runs free.
     pub fn trace_enabled(&self) -> bool {
         self.obs_on
+    }
+
+    /// `true` while the engine's server-side load shedder is actively
+    /// degrading (service cap reached or arrivals queued). Always `false`
+    /// when no [`ShedConfig`] is set.
+    ///
+    /// Contract: architectures must sample this during
+    /// [`ServerModel::on_request`](crate::ServerModel::on_request) (the
+    /// admission dispatch) and carry the bit per-request. Fleet drivers
+    /// only guarantee the value there — the parallel-in-time driver
+    /// replays burst/writable callbacks in phase workers, where live
+    /// shedder state does not exist.
+    pub fn shed_active(&self) -> bool {
+        self.shed_active
     }
 
     /// Emits a structured trace event (no-op when observability is off).
@@ -516,6 +562,12 @@ impl Experiment {
         let policy = cfg.retry;
         let retry_on = policy.enabled();
         let timeout = policy.timeout.unwrap_or_default();
+        // TCP-style adaptive timeout: one client-wide estimator (like the
+        // retry budget), fed every good response time, Karn-backed-off on
+        // timeout. `None` in Fixed mode — the arming sites then use the
+        // static `timeout` exactly as before.
+        let mut rto = (retry_on && policy.timeout_mode == TimeoutMode::Rto)
+            .then(|| RtoEstimator::new(&policy));
         let shed = cfg.shed;
         let compiled = cfg
             .faults
@@ -562,6 +614,8 @@ impl Experiment {
                     tcp_out: &mut tcp_out,
                     obs: &mut *obs,
                     obs_on,
+                    shed_active: shed
+                        .is_some_and(|sc| serving_count >= sc.max_concurrent || !accept_q.is_empty()),
                 }
             };
         }
@@ -836,6 +890,9 @@ impl Experiment {
                     } else {
                         let track = req[$conn].expect("matched without track");
                         let rt = $now.duration_since(track.sent_at);
+                        if let Some(e) = rto.as_mut() {
+                            e.observe(rt);
+                        }
                         window.record($now);
                         if $now >= warm_end && $now < end {
                             hist.record(rt);
@@ -888,6 +945,7 @@ impl Experiment {
         // per-iteration warm-up check below never allocates.
         let mut cpu_snap = *cpu.stats();
         let mut tcp_snap = tcp.stats();
+        let mut uring_snap = server.uring_stats().unwrap_or_default();
         let mut snapped = false;
         let mut timeouts_snap: u64 = 0;
         let mut retries_snap: u64 = 0;
@@ -903,6 +961,7 @@ impl Experiment {
             if !snapped && sim.peek_time().is_none_or(|t| t >= warm_end) {
                 cpu_snap = *cpu.stats();
                 tcp_snap = tcp.stats();
+                uring_snap = server.uring_stats().unwrap_or_default();
                 timeouts_snap = timeouts;
                 retries_snap = retries;
                 rejected_snap = rejected;
@@ -939,7 +998,8 @@ impl Experiment {
                     sim.schedule_at(now + one_way, EngineEvent::RequestArrive { conn, epoch: ep });
                     if retry_on {
                         budget.deposit();
-                        sim.schedule_at(now + timeout, EngineEvent::Timeout { conn, epoch: ep });
+                        let t = rto.as_ref().map_or(timeout, |e| e.current());
+                        sim.schedule_at(now + t, EngineEvent::Timeout { conn, epoch: ep });
                     }
                 }
                 EngineEvent::Client(ClientEvent::Arrival) => {
@@ -962,8 +1022,9 @@ impl Experiment {
                         );
                         if retry_on {
                             budget.deposit();
+                            let t = rto.as_ref().map_or(timeout, |e| e.current());
                             sim.schedule_at(
-                                now + timeout,
+                                now + t,
                                 EngineEvent::Timeout { conn, epoch: ep },
                             );
                         }
@@ -987,6 +1048,9 @@ impl Experiment {
                 EngineEvent::Timeout { conn, epoch: ep } => {
                     if req[conn.0].as_ref().is_some_and(|t| t.epoch == ep) {
                         timeouts += 1;
+                        if let Some(e) = rto.as_mut() {
+                            e.on_timeout();
+                        }
                         if obs_on {
                             let attempt = req[conn.0].as_ref().map_or(0, |t| t.attempt);
                             obs.record(
@@ -1005,7 +1069,8 @@ impl Experiment {
                             now + one_way,
                             EngineEvent::RequestArrive { conn, epoch: ep },
                         );
-                        sim.schedule_at(now + timeout, EngineEvent::Timeout { conn, epoch: ep });
+                        let t = rto.as_ref().map_or(timeout, |e| e.current());
+                        sim.schedule_at(now + t, EngineEvent::Timeout { conn, epoch: ep });
                     }
                 }
                 EngineEvent::Fault { idx } => {
@@ -1082,6 +1147,7 @@ impl Experiment {
 
         let completions = window.completions();
         let cpu_delta = cpu.stats().delta_since(&cpu_snap);
+        let uring_delta = server.uring_stats().unwrap_or_default().delta_since(&uring_snap);
         let breakdown = cpu_delta.breakdown(cfg.measure, cfg.cpu.cores);
         let tcp_now = tcp.stats();
         let writes = tcp_now.write_calls - tcp_snap.write_calls;
@@ -1126,6 +1192,10 @@ impl Experiment {
             obs.counter("rejected", rejected - rejected_snap);
             obs.counter("shed_dropped", shed_dropped - shed_snap);
             obs.counter("fault_events", fault_events - fault_snap);
+            obs.counter("sq_submits", uring_delta.sq_submits);
+            obs.counter("sq_flushes", uring_delta.sq_flushes);
+            obs.counter("cq_reaps", uring_delta.cq_reaps);
+            obs.counter("sq_full", uring_delta.sq_full);
             for (name, v) in server.debug_counters() {
                 obs.counter(name, v);
             }
@@ -1133,6 +1203,7 @@ impl Experiment {
             obs.gauge("cs_per_req", per_req(cpu_delta.context_switches));
             obs.gauge("writes_per_req", per_req(writes));
             obs.gauge("spins_per_req", per_req(spins));
+            obs.gauge("crossings_per_req", per_req(cpu_delta.syscall_bursts));
             obs.gauge("cpu_user", breakdown.user_pct() / 100.0);
             obs.gauge("cpu_sys", breakdown.sys_pct() / 100.0);
             obs.gauge("cpu_idle", 1.0 - breakdown.utilization());
@@ -1178,6 +1249,11 @@ impl Experiment {
             hedges: 0,
             hedge_cancels: 0,
             shard_retries: 0,
+            sq_submits: uring_delta.sq_submits,
+            sq_flushes: uring_delta.sq_flushes,
+            cq_reaps: uring_delta.cq_reaps,
+            sq_full: uring_delta.sq_full,
+            crossings_per_req: per_req(cpu_delta.syscall_bursts),
             per_class,
         }
     }

@@ -15,6 +15,11 @@
 //! | [`ServerKind::NettyLike`] | NettyServer | connection-owning workers, handler pipeline, bounded `writeSpin` (≤16) with park/resume |
 //! | [`ServerKind::Hybrid`] | HybridNetty | runtime request profiling; light requests take the SingleT fast path, heavy requests the Netty bounded path |
 //!
+//! Two extension architectures ride along: [`ServerKind::Staged`]
+//! (SEDA-style staged pipeline) and [`ServerKind::Proactor`]
+//! (completion-based I/O over an io_uring-style submission/completion
+//! ring — batched kernel crossings, CQE-driven writes, zero write-spin).
+//!
 //! The [`Experiment`] engine wires a closed-loop client pool, the TCP world
 //! and the CPU scheduler around one server instance and produces a
 //! [`asyncinv_metrics::RunSummary`] with the quantities the paper reports:
@@ -41,8 +46,14 @@ pub mod rubbos_engine;
 pub mod trace_codes;
 
 pub use arch::{ServerKind, ServerModel};
-pub use engine::{ConnInfo, Ctx, EngineEvent, Experiment, ExperimentConfig, ShedConfig, ShedPolicy};
+pub use engine::{
+    ConnInfo, Ctx, EngineEvent, Experiment, ExperimentConfig, HybridPath, ShedConfig, ShedPolicy,
+};
 pub use profile::ServiceProfile;
+
+// Proactor-ring types used in `ExperimentConfig`, re-exported for the
+// same reason as the fault-plane types below.
+pub use asyncinv_uring::{UringConfig, UringCounters};
 
 // Fault-plane types used in `ExperimentConfig`, re-exported so harnesses
 // can build scenarios without a direct asyncinv-fault dependency.

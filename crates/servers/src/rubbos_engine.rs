@@ -232,6 +232,8 @@ fn run_macro<Q: QueueBackend<MEvent>>(
         faults: None,
         shed: None,
         retry: asyncinv_workload::RetryPolicy::default(),
+        uring: asyncinv_uring::UringConfig::default(),
+        hybrid_heavy: crate::engine::HybridPath::default(),
     };
     let mut server = kind.build(&engine_cfg);
 
@@ -280,6 +282,8 @@ fn run_macro<Q: QueueBackend<MEvent>>(
                 tcp_out: &mut tcp_out,
                 obs: &mut *obs,
                 obs_on,
+                // The macro engine has no load shedder.
+                shed_active: false,
             }
         };
     }

@@ -45,6 +45,9 @@ pub const MARK_RECLASS_LIGHT: u64 = 4;
 pub const MARK_PARK_WRITABLE: u64 = 5;
 /// writeSpinCount budget exhausted: flush task requeued behind the loop.
 pub const MARK_SPIN_BUDGET: u64 = 6;
+/// Request routed through the proactor's submission ring (completion-based
+/// path: batched kernel crossings, CQE-driven write completion).
+pub const MARK_PATH_URING: u64 = 7;
 
 /// Human-readable label for a queue-item or mark code (queue codes and mark
 /// codes share a namespace per [`TraceKind`](asyncinv_obs::TraceKind), so
@@ -58,6 +61,7 @@ pub fn name(code: u64, mark: bool) -> String {
             MARK_RECLASS_LIGHT => "reclass-light".into(),
             MARK_PARK_WRITABLE => "park-writable".into(),
             MARK_SPIN_BUDGET => "spin-budget".into(),
+            MARK_PATH_URING => "path-uring".into(),
             other => format!("mark-{other}"),
         }
     } else {
@@ -85,7 +89,7 @@ mod tests {
             .iter()
             .map(|&c| name(c, false))
             .collect();
-        let marks: Vec<String> = (1..=6).map(|c| name(c, true)).collect();
+        let marks: Vec<String> = (1..=7).map(|c| name(c, true)).collect();
         for set in [&queue, &marks] {
             let mut sorted = set.clone();
             sorted.sort();

@@ -173,6 +173,67 @@ fn hybrid_degrades_gracefully_under_push_variance() {
     );
 }
 
+/// Storm-freeze regression: an overload shaped like
+/// `scenarios/retry_storm.json` (a transient 16× slowdown with the load
+/// shedder engaged) must not flap the classification map. While shedding
+/// is active every write stalls, so write behaviour says nothing about
+/// the class — flips from requests admitted during the storm are
+/// suppressed (and counted as `reclass_frozen`), while learning keeps
+/// working outside it. Covers both heavy-path backends.
+#[test]
+fn classifier_freezes_during_shed_storm() {
+    use asyncinv_servers::{
+        FaultEvent, FaultKind, FaultPlan, HybridPath, ShedConfig, ShedPolicy,
+    };
+    use asyncinv_workload::RequestClass;
+
+    for path in [HybridPath::Netty, HybridPath::Proactor] {
+        // Push variance makes the class size unpredictable per request —
+        // exactly the flip pressure the freeze has to gate.
+        let class = RequestClass::new("page", 2 * 1024).with_push(32 * 1024, 2);
+        let mut cfg = ExperimentConfig::with_mix(50, Mix::new(vec![(class, 1.0)]));
+        cfg.warmup = SimDuration::from_millis(400);
+        cfg.measure = SimDuration::from_secs(2);
+        cfg.hybrid_heavy = path;
+        // Sized between the healthy and the stormed service demand: the
+        // shedder sits idle until the fault hits, then engages.
+        cfg.shed = Some(ShedConfig {
+            max_concurrent: 24,
+            queue_cap: 16,
+            policy: ShedPolicy::DropOldest,
+            reject_bytes: 256,
+        });
+        cfg.faults = Some(FaultPlan {
+            seed: 7,
+            events: vec![FaultEvent {
+                at: SimDuration::from_millis(900),
+                fault: FaultKind::Slowdown {
+                    factor: 16.0,
+                    duration: Some(SimDuration::from_millis(500)),
+                },
+            }],
+        });
+        let (s, counters) = Experiment::new(cfg).run_detailed(ServerKind::Hybrid);
+        let get = |name: &str| {
+            counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert!(s.completions > 0, "{path:?}: the storm starved the run");
+        assert!(
+            get("reclass_frozen") > 0,
+            "{path:?}: the storm must suppress flips: {counters:?}"
+        );
+        let flips = get("reclass_to_heavy") + get("reclass_to_light");
+        assert!(
+            flips > 0,
+            "{path:?}: learning must still work outside the storm: {counters:?}"
+        );
+    }
+}
+
 /// Head-of-line blocking: in the unbounded spinner, light requests queue
 /// behind heavy responses for whole wait-ACK drains; with parked writes
 /// they overtake. With latency the gap is orders of magnitude.

@@ -378,6 +378,114 @@ mod tests {
     }
 
     #[test]
+    fn far_future_inserts_go_to_the_reopened_top() {
+        let mut q = LadderQueue::new();
+        for i in 0..200u64 {
+            q.push(SimTime::from_nanos(100 + i), i);
+        }
+        // Drain a little so a rung exists and the top's domain is closed
+        // (`top_start` > 0), then spill events eons past every structure:
+        // seconds against a nanosecond-scale rung grid.
+        for _ in 0..10 {
+            q.pop();
+        }
+        q.push(SimTime::from_secs(3600), 9000);
+        q.push(SimTime::from_secs(7200), 9001);
+        q.push(SimTime::from_nanos(150), 9002);
+        let mut last = SimTime::ZERO;
+        let mut n = 0;
+        let mut got = Vec::new();
+        while let Some((t, v)) = q.pop() {
+            assert!(t >= last, "order violated at {t:?}");
+            last = t;
+            n += 1;
+            if v >= 9000 {
+                got.push((t, v));
+            }
+        }
+        assert_eq!(n, 193);
+        // The far-future pair pops last, in push order; after the near
+        // events drained, the top transferred into a fresh coarse rung.
+        assert_eq!(
+            got[got.len() - 2..],
+            [
+                (SimTime::from_secs(3600), 9000),
+                (SimTime::from_secs(7200), 9001)
+            ]
+        );
+    }
+
+    #[test]
+    fn drain_while_inserting_at_the_pop_frontier() {
+        // The adversarial hold pattern: every pop is chased by pushes at
+        // exactly the popped instant (which must sort *after* anything
+        // already queued there) and just above it, while the queue drains
+        // to empty and refills — exercising bottom reuse, rung
+        // exhaustion, and top reopening in one loop.
+        let mut lq = LadderQueue::new();
+        let mut heap = crate::EventQueue::new();
+        let mut id = 0u64;
+        for i in 0..256u64 {
+            let t = SimTime::from_nanos((i * 37) % 512);
+            lq.push(t, id);
+            heap.push(t, id);
+            id += 1;
+        }
+        let mut budget = 4096u32;
+        loop {
+            let a = lq.pop();
+            assert_eq!(a, heap.pop());
+            let Some((t, _)) = a else { break };
+            if budget > 0 {
+                budget -= 1;
+                // Same-instant chaser plus a near-future one.
+                lq.push(t, id);
+                heap.push(t, id);
+                id += 1;
+                let nt = t + crate::SimDuration::from_nanos(id % 17);
+                lq.push(nt, id);
+                heap.push(nt, id);
+                id += 1;
+            }
+            assert_eq!(lq.peek_time(), heap.peek_time());
+            assert_eq!(lq.len(), heap.len());
+        }
+        assert!(lq.is_empty());
+    }
+
+    #[test]
+    fn massive_same_instant_ties_across_structures() {
+        // Ties split across the bottom, a rung, and the top at once: the
+        // global (time, seq) order must still interleave them FIFO.
+        let mut q = LadderQueue::new();
+        let tie = SimTime::from_nanos(1000);
+        let mut expect = Vec::new();
+        for i in 0..100u64 {
+            q.push(tie, i);
+            expect.push(i);
+        }
+        for i in 0..50u64 {
+            q.push(SimTime::from_nanos(i), 1000 + i);
+        }
+        // Drain the early events; the tie block is still upstream.
+        for _ in 0..50 {
+            q.pop();
+        }
+        // More ties arrive after a partial drain, through a different path
+        // (the structures now have active edges).
+        for i in 100..200u64 {
+            q.push(tie, i);
+            expect.push(i);
+        }
+        let got: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, v)| {
+            assert_eq!(t, tie);
+            v
+        })
+        .collect();
+        assert_eq!(got, expect, "ties must pop in global insertion order");
+    }
+
+    #[test]
     fn len_clear_and_empty() {
         let mut q = LadderQueue::new();
         assert!(q.is_empty());

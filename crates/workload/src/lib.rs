@@ -47,7 +47,7 @@ mod zipf;
 
 pub use class::{Mix, PushModel, RequestClass, SizeDrift};
 pub use clients::{ArrivalMode, ClientConfig, ClientEvent, ClientPool, RequestSpec, UserId};
-pub use retry::{RetryBudget, RetryPolicy};
+pub use retry::{RetryBudget, RetryPolicy, RtoEstimator, TimeoutMode};
 pub use station::{Station, StationEvent};
 pub use think::ThinkTime;
 pub use zipf::ZipfSampler;

@@ -12,6 +12,26 @@
 use asyncinv_simcore::{SimDuration, SimRng};
 use serde::{Deserialize, Serialize};
 
+/// How the client sets each attempt's timeout.
+///
+/// `Fixed` arms [`RetryPolicy::timeout`] verbatim — the mode every run
+/// before this knob existed used, and the serde default, so existing
+/// configs and seeds stay bit-identical. `Rto` arms an online
+/// Jacobson/Karels estimate (TCP's RTO algorithm) tracked by an
+/// [`RtoEstimator`] the engine owns: smoothed RTT plus a variance
+/// multiple, clamped to the configured bounds, with Karn-style
+/// exponential backoff after a timeout fires. Deterministic — integer
+/// nanosecond arithmetic over observed response times, no RNG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TimeoutMode {
+    /// Arm the fixed [`RetryPolicy::timeout`] for every attempt.
+    #[default]
+    Fixed,
+    /// Arm the current Jacobson/Karels RTO estimate (seeded from the
+    /// fixed timeout until the first response sample arrives).
+    Rto,
+}
+
 /// Client retry policy for one experiment.
 ///
 /// `attempt` counts *retries already made*: the first retry after the
@@ -21,6 +41,15 @@ pub struct RetryPolicy {
     /// Per-request timeout measured from each (re)send. `None` disables
     /// timeouts, retries and the budget entirely.
     pub timeout: Option<SimDuration>,
+    /// How the armed timeout is chosen (fixed, or online RTO estimate).
+    #[serde(default)]
+    pub timeout_mode: TimeoutMode,
+    /// Lower clamp on the RTO estimate (ignored in `Fixed` mode).
+    #[serde(default = "default_rto_min")]
+    pub rto_min: SimDuration,
+    /// Upper clamp on the RTO estimate (ignored in `Fixed` mode).
+    #[serde(default = "default_rto_max")]
+    pub rto_max: SimDuration,
     /// Maximum retries per request before the client abandons it. Zero
     /// means timeouts are observed (and counted) but never retried.
     pub max_retries: u32,
@@ -42,12 +71,23 @@ pub struct RetryPolicy {
     pub budget_cap: f64,
 }
 
+fn default_rto_min() -> SimDuration {
+    SimDuration::from_millis(1)
+}
+
+fn default_rto_max() -> SimDuration {
+    SimDuration::from_secs(1)
+}
+
 impl Default for RetryPolicy {
     /// Disabled policy (no timeout), with storm-safe knobs pre-filled so
     /// enabling is just `policy.timeout = Some(..)`.
     fn default() -> Self {
         RetryPolicy {
             timeout: None,
+            timeout_mode: TimeoutMode::Fixed,
+            rto_min: default_rto_min(),
+            rto_max: default_rto_max(),
             max_retries: 3,
             backoff_base: SimDuration::from_millis(1),
             backoff_mult: 2.0,
@@ -104,6 +144,14 @@ impl RetryPolicy {
         if self.budget_ratio > 0.0 && self.budget_cap < 1.0 {
             return Err("budget_cap must be >= 1.0 when the budget is on".into());
         }
+        if self.timeout_mode == TimeoutMode::Rto {
+            if self.rto_min.is_zero() {
+                return Err("rto_min must be positive".into());
+            }
+            if self.rto_max < self.rto_min {
+                return Err("rto_max must be >= rto_min".into());
+            }
+        }
         Ok(())
     }
 }
@@ -156,6 +204,95 @@ impl RetryBudget {
     }
 }
 
+/// Online TCP-style retransmission-timeout estimator (Jacobson/Karels,
+/// RFC 6298): `SRTT ← 7/8·SRTT + 1/8·RTT`, `RTTVAR ← 3/4·RTTVAR +
+/// 1/4·|SRTT − RTT|`, `RTO = clamp(SRTT + 4·RTTVAR, min, max)`, with
+/// Karn-style doubling after each timeout (cleared by the next good
+/// sample).
+///
+/// Pure integer-nanosecond arithmetic over the sim clock — deterministic
+/// and seedless. The engine owns one estimator per run (client-wide,
+/// like the retry budget), feeds it every completed response time, and
+/// arms [`RtoEstimator::current`] instead of the fixed timeout when
+/// [`TimeoutMode::Rto`] is selected.
+#[derive(Debug, Clone, Copy)]
+pub struct RtoEstimator {
+    srtt_ns: u64,
+    rttvar_ns: u64,
+    /// Current estimate *before* backoff, in nanoseconds.
+    rto_ns: u64,
+    /// Karn backoff doublings applied since the last good sample.
+    backoff: u32,
+    min_ns: u64,
+    max_ns: u64,
+    seeded: bool,
+    /// Response-time samples observed (diagnostics).
+    samples: u64,
+}
+
+impl RtoEstimator {
+    /// An estimator from the policy's knobs, seeded with the fixed
+    /// timeout (the armed value until the first sample arrives).
+    pub fn new(policy: &RetryPolicy) -> Self {
+        let min_ns = policy.rto_min.as_nanos().max(1);
+        let max_ns = policy.rto_max.as_nanos().max(min_ns);
+        let seed = policy
+            .timeout
+            .unwrap_or(policy.rto_max)
+            .as_nanos()
+            .clamp(min_ns, max_ns);
+        RtoEstimator {
+            srtt_ns: 0,
+            rttvar_ns: 0,
+            rto_ns: seed,
+            backoff: 0,
+            min_ns,
+            max_ns,
+            seeded: false,
+            samples: 0,
+        }
+    }
+
+    /// The timeout to arm for the next attempt (estimate with Karn
+    /// backoff applied, clamped to the configured bounds).
+    pub fn current(&self) -> SimDuration {
+        let shift = self.backoff.min(32);
+        let backed = self.rto_ns.saturating_mul(1u64 << shift);
+        SimDuration::from_nanos(backed.clamp(self.min_ns, self.max_ns))
+    }
+
+    /// Feeds one completed response time and re-estimates. Also clears
+    /// any Karn backoff — a good sample means the path recovered.
+    pub fn observe(&mut self, rt: SimDuration) {
+        let rtt = rt.as_nanos();
+        if !self.seeded {
+            // RFC 6298 §2.2: first sample initializes SRTT and RTTVAR.
+            self.srtt_ns = rtt;
+            self.rttvar_ns = rtt / 2;
+            self.seeded = true;
+        } else {
+            // Integer form of the 1/8 and 1/4 gains.
+            let diff = self.srtt_ns.abs_diff(rtt);
+            self.rttvar_ns = self.rttvar_ns - self.rttvar_ns / 4 + diff / 4;
+            self.srtt_ns = self.srtt_ns - self.srtt_ns / 8 + rtt / 8;
+        }
+        self.rto_ns = (self.srtt_ns + 4 * self.rttvar_ns.max(1)).clamp(self.min_ns, self.max_ns);
+        self.backoff = 0;
+        self.samples += 1;
+    }
+
+    /// Records a timeout firing: Karn backoff doubles the armed value
+    /// until the next good sample.
+    pub fn on_timeout(&mut self) {
+        self.backoff = self.backoff.saturating_add(1);
+    }
+
+    /// Samples observed so far (diagnostics).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,7 +308,105 @@ mod tests {
     fn default_is_disabled_and_valid() {
         let p = RetryPolicy::default();
         assert!(!p.enabled());
+        assert_eq!(p.timeout_mode, TimeoutMode::Fixed);
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn rto_validation() {
+        let bad = RetryPolicy {
+            timeout_mode: TimeoutMode::Rto,
+            rto_min: SimDuration::from_millis(5),
+            rto_max: SimDuration::from_millis(1),
+            ..on()
+        };
+        assert!(bad.validate().is_err());
+        let zero = RetryPolicy {
+            timeout_mode: TimeoutMode::Rto,
+            rto_min: SimDuration::ZERO,
+            ..on()
+        };
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn rto_seeds_from_fixed_timeout() {
+        let p = RetryPolicy {
+            timeout_mode: TimeoutMode::Rto,
+            ..on()
+        };
+        let est = RtoEstimator::new(&p);
+        assert_eq!(est.current(), SimDuration::from_millis(10));
+        assert_eq!(est.samples(), 0);
+    }
+
+    #[test]
+    fn rto_first_sample_initializes_rfc6298() {
+        let p = RetryPolicy {
+            timeout_mode: TimeoutMode::Rto,
+            ..on()
+        };
+        let mut est = RtoEstimator::new(&p);
+        est.observe(SimDuration::from_micros(800));
+        // SRTT = 800us, RTTVAR = 400us, RTO = 800 + 4*400 = 2400us.
+        assert_eq!(est.current(), SimDuration::from_micros(2400));
+        assert_eq!(est.samples(), 1);
+    }
+
+    #[test]
+    fn rto_converges_on_steady_rtt() {
+        let p = RetryPolicy {
+            timeout_mode: TimeoutMode::Rto,
+            rto_min: SimDuration::from_micros(100),
+            ..on()
+        };
+        let mut est = RtoEstimator::new(&p);
+        for _ in 0..200 {
+            est.observe(SimDuration::from_micros(500));
+        }
+        // RTTVAR decays toward zero on a constant path; RTO floors near
+        // SRTT (clamped above rto_min).
+        let rto = est.current();
+        assert!(rto >= p.rto_min);
+        assert!(rto <= SimDuration::from_micros(600), "rto was {rto:?}");
+    }
+
+    #[test]
+    fn rto_karn_backoff_doubles_and_clears() {
+        let p = RetryPolicy {
+            timeout_mode: TimeoutMode::Rto,
+            ..on()
+        };
+        let mut est = RtoEstimator::new(&p);
+        est.observe(SimDuration::from_micros(500));
+        let base = est.current();
+        est.on_timeout();
+        assert_eq!(est.current(), base * 2);
+        est.on_timeout();
+        assert_eq!(est.current(), base * 4);
+        // Backoff never exceeds the max.
+        for _ in 0..40 {
+            est.on_timeout();
+        }
+        assert_eq!(est.current(), p.rto_max);
+        // A good sample clears the backoff.
+        est.observe(SimDuration::from_micros(500));
+        assert!(est.current() < p.rto_max);
+    }
+
+    #[test]
+    fn rto_spike_inflates_variance() {
+        let p = RetryPolicy {
+            timeout_mode: TimeoutMode::Rto,
+            ..on()
+        };
+        let mut est = RtoEstimator::new(&p);
+        for _ in 0..50 {
+            est.observe(SimDuration::from_micros(500));
+        }
+        let settled = est.current();
+        est.observe(SimDuration::from_millis(5));
+        assert!(est.current() > settled, "a spike must raise the estimate");
     }
 
     #[test]

@@ -49,6 +49,13 @@ test -s "$obs_dir/latency_breakdown.quick.json"
 cargo run --release -p asyncinv-bench --bin span_audit -- \
     --validate-spans "$obs_dir/latency_breakdown.spans.trace.json"
 
+echo "== proactor: crossings-vs-size sweep (asserts batching + zero write-spin) =="
+cargo run --release -p asyncinv-bench --bin proactor_sweep -- --quick
+
+echo "== proactor: checked-in sweep scenario, traced + audited =="
+cargo run --release -p asyncinv-bench --bin proactor_sweep -- \
+    --quick --scenario scenarios/proactor_sweep.json
+
 echo "== resilience: checked-in fault scenario, traced + audited =="
 cargo run --release -p asyncinv-bench --bin resilience -- \
     --quick --scenario scenarios/retry_storm.json

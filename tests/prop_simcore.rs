@@ -174,6 +174,42 @@ proptest! {
         prop_assert_eq!(QueueBackend::pop(&mut heap), None);
     }
 
+    /// Ladder edge cases as a property: bimodal timestamps (a dense near
+    /// cluster plus far-future spills landing past the top's domain) with
+    /// drain bursts that empty the queue mid-sequence. The pop stream must
+    /// stay byte-identical to the heap through top transfers, rung
+    /// spawns over huge spans, and top reopenings.
+    #[test]
+    fn ladder_far_future_and_drain_interleaving(
+        ops in prop::collection::vec((0u64..2_000, any::<bool>(), 0usize..6), 1..200),
+    ) {
+        let mut lad = LadderQueue::new();
+        let mut heap = EventQueue::new();
+        let mut next_id = 0u64;
+        for (t, far, pops) in ops {
+            // Far pushes land ~10^9 ns past the near cluster, guaranteeing
+            // they spill into the top whatever the active edges are.
+            let time = if far {
+                SimTime::from_nanos(1_000_000_000 + t * 1_000_003)
+            } else {
+                SimTime::from_nanos(t)
+            };
+            lad.push(time, next_id);
+            heap.push(time, next_id);
+            next_id += 1;
+            for _ in 0..pops {
+                let a = QueueBackend::pop(&mut lad);
+                prop_assert_eq!(a, QueueBackend::pop(&mut heap), "pop divergence");
+                prop_assert_eq!(QueueBackend::peek_time(&lad), QueueBackend::peek_time(&heap));
+            }
+        }
+        loop {
+            let a = QueueBackend::pop(&mut lad);
+            prop_assert_eq!(a, QueueBackend::pop(&mut heap), "drain divergence");
+            if a.is_none() { break; }
+        }
+    }
+
     /// A simulation pinned to each backend delivers the exact same
     /// (time, payload) stream for random schedules.
     #[test]

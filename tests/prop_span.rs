@@ -204,3 +204,13 @@ proptest! {
         prop_assert!(a.fleet.completions > 0);
     }
 }
+
+/// The span classifier's mirror of the ring's write op code (it cannot
+/// depend on `asyncinv-uring` directly) must track the real constant.
+#[test]
+fn sq_write_code_mirrors_uring() {
+    assert_eq!(
+        asyncinv::obs::critical_path::SQ_OP_WRITE_CODE,
+        asyncinv_uring::SQ_OP_WRITE
+    );
+}
