@@ -17,15 +17,20 @@
 //! cargo run --release -p asyncinv-bench --bin fleet -- \
 //!     --scenario scenarios/shard_brownout.json       # containment demo
 //! cargo run --release -p asyncinv-bench --bin fleet -- \
-//!     --json fleet.json                              # machine-readable sweep
+//!     --json [out.json]     # machine-readable sweep (default results/fleet-sweep.json)
+//! cargo run --release -p asyncinv-bench --bin fleet -- --write-scenario
 //! ```
 //!
-//! All runs are seeded and deterministic. The `--scenario` run is traced
-//! and reconciled through [`fleet_audit`]; an audit failure exits 1.
+//! All runs are seeded and deterministic. The `--scenario` run first
+//! asserts the checked-in JSON has not drifted from the canonical
+//! scenario in this file (regenerate with `--write-scenario`), then runs
+//! traced and reconciled through [`fleet_audit`]; an audit failure
+//! exits 1.
 
 use asyncinv::fault::{FaultEvent, FaultKind, FaultPlan};
 use asyncinv::fleet::{
-    fleet_audit, BalancerKind, Cluster, FleetConfig, FleetScenario, FleetSummary, ShardFault,
+    fleet_audit, BalancerKind, BrownoutSpec, Cluster, FleetConfig, FleetScenario, FleetSummary,
+    HedgeConfig, ShardFault,
 };
 use asyncinv::{fmt_f64, ExperimentConfig, ServerKind, SimDuration, Table};
 use asyncinv_bench::{banner, fidelity_from_args, print_and_export};
@@ -45,6 +50,37 @@ struct SweepRow {
     shard_retries: u64,
     timeouts: u64,
     retries: u64,
+}
+
+const SCENARIO: &str = "scenarios/shard_brownout.json";
+
+/// The checked-in brownout scenario, reproducibly: `--write-scenario`
+/// serializes this, `--scenario` asserts the JSON still matches it.
+fn brownout_scenario() -> FleetScenario {
+    FleetScenario {
+        name: "shard-brownout".into(),
+        shards: 4,
+        concurrency: 192,
+        response_bytes: 10 * 1024,
+        seed: 42,
+        think: SimDuration::from_millis(8),
+        balancer: BalancerKind::RoundRobin,
+        hedge: Some(HedgeConfig {
+            percentile: 0.9,
+            initial_delay: SimDuration::from_millis(5),
+            min_samples: 64,
+        }),
+        timeout: SimDuration::from_millis(25),
+        max_retries: 5,
+        warmup: SimDuration::from_millis(200),
+        measure: SimDuration::from_secs(1),
+        brownout: BrownoutSpec {
+            shard: 0,
+            at: SimDuration::from_millis(300),
+            factor: 50.0,
+            duration: SimDuration::from_millis(800),
+        },
+    }
 }
 
 /// max/min per-shard route share — 1.0 is a perfectly even spread.
@@ -170,6 +206,13 @@ fn run_scenario(path: &str, kind: ServerKind) {
         eprintln!("error: {path}: {e}");
         std::process::exit(2);
     }
+    // FleetScenario carries no PartialEq; round-trip both through the
+    // same serializer and compare the canonical forms instead.
+    assert_eq!(
+        serde_json::to_string_pretty(&scenario).expect("serialize loaded scenario"),
+        serde_json::to_string_pretty(&brownout_scenario()).expect("serialize canonical scenario"),
+        "checked-in scenario drifted from source (regenerate with --write-scenario)"
+    );
     banner(
         "fleet — shard brownout containment",
         "a retry budget plus hedging contains a single-shard brownout; \
@@ -294,8 +337,21 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--write-scenario" => {
+                let json =
+                    serde_json::to_string_pretty(&brownout_scenario()).expect("serialize scenario");
+                std::fs::create_dir_all("scenarios").expect("mkdir scenarios");
+                std::fs::write(SCENARIO, json + "\n").expect("write scenario");
+                println!("wrote {SCENARIO}");
+                return;
+            }
             "--scenario" => scenario = args.next(),
-            "--json" => json_out = args.next(),
+            // Bare `--json` targets the committed artifact under results/.
+            "--json" => {
+                json_out = Some(
+                    args.next().unwrap_or_else(|| "results/fleet-sweep.json".into()),
+                )
+            }
             _ => {}
         }
     }
@@ -331,6 +387,10 @@ fn main() {
     print_and_export("fleet_sweep", &sweep_table(&rows));
 
     if let Some(out) = json_out {
+        if let Some(dir) = std::path::Path::new(&out).parent().filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).expect("mkdir json output dir");
+        }
         let json = serde_json::to_string_pretty(&rows).expect("serialize fleet sweep");
         std::fs::write(&out, json + "\n").expect("write fleet sweep json");
         println!("wrote {out}");

@@ -20,7 +20,11 @@
 //! cargo run --release -p asyncinv-bench --bin resilience -- --quick  # smoke
 //! cargo run --release -p asyncinv-bench --bin resilience -- \
 //!     --scenario scenarios/retry_storm.json                # checked-in plan
+//! cargo run --release -p asyncinv-bench --bin resilience -- --write-scenario
 //! ```
+//!
+//! The `--scenario` run asserts the checked-in plan has not drifted from
+//! the canonical storm in this file (regenerate with `--write-scenario`).
 //!
 //! All runs are seeded and deterministic; set `ASYNCINV_RESILIENCE_OUT` to
 //! also write the sweep as JSON.
@@ -34,6 +38,24 @@ use asyncinv::{
 };
 use asyncinv_bench::{banner, fidelity_from_args, print_and_export};
 use serde::Serialize;
+
+const SCENARIO: &str = "scenarios/retry_storm.json";
+
+/// The checked-in storm plan, reproducibly: `--write-scenario` serializes
+/// this, `--scenario` asserts the JSON still matches it. A 16× slowdown
+/// for 500 ms in the middle of the full-fidelity measurement window.
+fn storm_scenario() -> FaultPlan {
+    FaultPlan {
+        seed: 2209,
+        events: vec![FaultEvent {
+            at: SimDuration::from_millis(700),
+            fault: FaultKind::Slowdown {
+                factor: 16.0,
+                duration: Some(SimDuration::from_millis(500)),
+            },
+        }],
+    }
+}
 
 /// Counts completions and retries into fixed time bins over the whole run,
 /// so phase goodput comes from the event stream without retaining it.
@@ -310,6 +332,11 @@ fn run_scenario(path: &str, quick: bool) {
         eprintln!("error: {path}: {e}");
         std::process::exit(2);
     }
+    assert_eq!(
+        plan,
+        storm_scenario(),
+        "checked-in scenario drifted from source (regenerate with --write-scenario)"
+    );
     banner(
         "resilience — scenario run",
         "fault events injected by the plan reconcile bitwise with the trace",
@@ -360,6 +387,13 @@ fn run_scenario(path: &str, quick: bool) {
 fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
+        if a == "--write-scenario" {
+            let json = serde_json::to_string_pretty(&storm_scenario()).expect("serialize scenario");
+            std::fs::create_dir_all("scenarios").expect("mkdir scenarios");
+            std::fs::write(SCENARIO, json + "\n").expect("write scenario");
+            println!("wrote {SCENARIO}");
+            return;
+        }
         if a == "--scenario" {
             let path = args.next().unwrap_or_else(|| {
                 eprintln!("usage: resilience --scenario <plan.json>");

@@ -9,6 +9,8 @@
 //! `ASYNCINV_THREADS=N`) to bound the parallel cell runner; the recorded
 //! numbers in `EXPERIMENTS.md` come from full runs.
 
+#![forbid(unsafe_code)]
+
 use asyncinv::fault::{FaultEvent, FaultKind, FaultPlan, ShedConfig, ShedPolicy};
 use asyncinv::figures::Fidelity;
 use asyncinv::fleet::{BalancerKind, FleetConfig, HedgeConfig, ShardFault, ShardShed};

@@ -36,6 +36,7 @@
 //! assert!(single.throughput > sync.throughput);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -70,7 +71,8 @@ pub mod fleet {
     pub use asyncinv_fleet::{
         fleet_audit, mix64, Balancer, BalancerKind, BrownoutSpec, Cluster, ConsistentHashRing,
         FleetConfig, FleetScenario, FleetSummary, HedgeConfig, HedgeEstimator, ParallelCluster,
-        ParallelHealth, ShardFault, ShardShed, ShardSummary, WorkerHealth,
+        ParallelHealth, SchedulePlan, ScheduleTrace, ShardFault, ShardShed, ShardSummary,
+        VirtualSched, WorkerHealth,
     };
 }
 

@@ -61,6 +61,7 @@
 //! assert_eq!(now.as_micros(), 10);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -218,8 +218,13 @@ fn enum_variants(tokens: &[Token], name: &str) -> Option<Vec<String>> {
 
 /// Finds the token range of a surface item's body: `fn name ... { .. }`
 /// or `const name ... = [ .. ]`. Returns `(start, end, decl_line)` with
-/// `start..end` excluding the delimiters.
-fn item_body(tokens: &[Token], item: SurfaceItem, name: &str) -> Option<(usize, usize, u32)> {
+/// `start..end` excluding the delimiters. Shared with the conservation
+/// pass, which locates audit/epilogue function bodies the same way.
+pub(crate) fn item_body(
+    tokens: &[Token],
+    item: SurfaceItem,
+    name: &str,
+) -> Option<(usize, usize, u32)> {
     let (kw, open, close) = match item {
         SurfaceItem::Fn => ("fn", '{', '}'),
         SurfaceItem::Const => ("const", '[', ']'),

@@ -1,7 +1,7 @@
 //! **detlint** — the workspace determinism & trace-schema static-analysis
 //! pass.
 //!
-//! Two analyzer families (see `docs/static-analysis.md`):
+//! Three analyzer families (see `docs/static-analysis.md`):
 //!
 //! * [`lints`] — determinism lints over the simulation crates: deny
 //!   hash-ordered containers, wall-clock reads, ambient randomness, rogue
@@ -11,6 +11,12 @@
 //! * [`coverage`] — trace-schema coverage: every `TraceKind` variant must
 //!   be handled by both exporters and dispositioned by the trace audit,
 //!   and emitted by at least one engine crate.
+//! * [`conservation`] — counter-conservation dataflow: every counter
+//!   field has exactly one increment site per scope, is consumed by an
+//!   audit (or waived with a reason), is folded by both fleet drivers,
+//!   and the drivers publish identical registry name sets; plus the
+//!   shared-state ban in the parallel driver and the
+//!   `#![forbid(unsafe_code)]` meta-check on sim crate roots.
 //!
 //! Run it with `cargo run -p detlint -- check` (wired into
 //! `scripts/smoke.sh`); `--json <path>` writes a machine-readable report.
@@ -19,11 +25,13 @@
 
 use std::path::{Path, PathBuf};
 
+pub mod conservation;
 pub mod coverage;
 pub mod diag;
 pub mod lexer;
 pub mod lints;
 
+pub use conservation::{ConservationConfig, CounterSpec, CONSERVATION_LINTS};
 pub use coverage::{CoverageConfig, CoverageSummary, Surface, SurfaceItem};
 pub use diag::Diagnostic;
 pub use lints::{LintOptions, LINTS};
@@ -42,6 +50,10 @@ pub struct WorkspaceConfig {
     /// analyzer). The repo default checks two schemas: the `TraceKind`
     /// event schema and the span layer's `Phase` schema.
     pub coverage: Vec<CoverageConfig>,
+    /// The counter-conservation family (counter specs, registry parity,
+    /// shared-state files, forbid-unsafe roots). Empty configs disable
+    /// each sub-check.
+    pub conservation: ConservationConfig,
 }
 
 impl WorkspaceConfig {
@@ -58,7 +70,7 @@ impl WorkspaceConfig {
     pub fn repo_default() -> Self {
         let crates = [
             "simcore", "core", "tcp", "cpu", "servers", "workload", "fault", "metrics", "obs",
-            "bench", "fleet",
+            "bench", "fleet", "uring",
         ];
         let mut lint_dirs: Vec<PathBuf> = crates
             .iter()
@@ -69,6 +81,7 @@ impl WorkspaceConfig {
             lint_dirs,
             spawn_sanctioned: vec!["crates/core/src/runner.rs".into()],
             coverage: vec![CoverageConfig::repo_default(), CoverageConfig::span_schema()],
+            conservation: ConservationConfig::repo_default(),
         }
     }
 }
@@ -222,12 +235,28 @@ pub fn walk_rs_files(dir: &Path) -> Vec<PathBuf> {
     out
 }
 
-/// Runs the full pass (determinism lints + trace-schema coverage) over the
-/// workspace at `root`.
+/// Runs the full pass (determinism lints + counter conservation +
+/// trace-schema coverage) over the workspace at `root`.
+///
+/// Per-file raw findings from the determinism lints and the
+/// conservation family are merged first, then each file's allow
+/// annotations are applied exactly once over the combined set — so one
+/// `detlint::allow` comment line can waive any lint, and unused-allow
+/// detection sees the whole picture. Coverage diagnostics bypass
+/// allows by design (a missing match arm is fixed, not waived).
 pub fn run_check(root: &Path, cfg: &WorkspaceConfig) -> Report {
-    let known = lints::lint_names();
+    let mut known = lints::lint_names();
+    known.extend(conservation::lint_names());
     let mut diagnostics = Vec::new();
     let mut files_scanned = 0usize;
+
+    // Raw (pre-allow) findings per file. Every walked file gets an
+    // entry even when clean, so unused-allow/bad-allow detection runs
+    // everywhere; lexes are kept for the allow pass.
+    let mut raw: std::collections::BTreeMap<String, Vec<Diagnostic>> =
+        std::collections::BTreeMap::new();
+    let mut lexes: std::collections::BTreeMap<String, lexer::Lexed> =
+        std::collections::BTreeMap::new();
 
     for dir in &cfg.lint_dirs {
         for file in walk_rs_files(&root.join(dir)) {
@@ -246,14 +275,33 @@ pub fn run_check(root: &Path, cfg: &WorkspaceConfig) -> Report {
                     .iter()
                     .any(|s| s.as_os_str() == std::ffi::OsStr::new(&rel)),
             };
-            let (raw, lexed) = lints::lint_source(&rel, &source, &opts);
-            diagnostics.extend(diag::apply_allows(
+            let (found, lexed) = lints::lint_source(&rel, &source, &opts);
+            raw.entry(rel.clone()).or_default().extend(found);
+            lexes.insert(rel, lexed);
+        }
+    }
+
+    for d in conservation::analyze(root, &cfg.conservation) {
+        raw.entry(d.file.clone()).or_default().push(d);
+    }
+
+    for (rel, found) in raw {
+        // Conservation targets outside the walked lint dirs still get
+        // their allow annotations honored: lex on demand.
+        let lexed = lexes.remove(&rel).or_else(|| {
+            std::fs::read_to_string(root.join(&rel))
+                .ok()
+                .map(|src| lexer::lex(&src))
+        });
+        match lexed {
+            Some(lx) => diagnostics.extend(diag::apply_allows(
                 &rel,
-                &lexed.comments,
-                &lexed.tokens,
+                &lx.comments,
+                &lx.tokens,
                 &known,
-                raw,
-            ));
+                found,
+            )),
+            None => diagnostics.extend(found),
         }
     }
 

@@ -42,6 +42,7 @@
 //! assert_eq!(compiled.ops.len(), 2); // apply + revert
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

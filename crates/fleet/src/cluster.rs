@@ -199,6 +199,29 @@ pub fn fleet_audit(summary: &FleetSummary, rec: &Recorder) -> AuditReport {
             from_summary: total as f64,
         });
     }
+    // Machine-level counters have no `RunSummary` field; reconcile the
+    // per-shard sums against the registry totals instead (skipped when the
+    // recorder carries no registry counters, e.g. observability off).
+    for (name, per_shard, registry_total) in [
+        (
+            "context_switches_sum",
+            sum(|s| s.context_switches),
+            rec.registry().counter("context_switches"),
+        ),
+        (
+            "write_calls_sum",
+            sum(|s| s.write_calls),
+            rec.registry().counter("write_calls"),
+        ),
+    ] {
+        if let Some(total) = registry_total {
+            report.checks.push(AuditCheck {
+                name,
+                from_trace: per_shard,
+                from_summary: total as f64,
+            });
+        }
+    }
     report
 }
 
@@ -597,23 +620,35 @@ impl Cluster {
             };
         }
 
+        // Charges one hedged-pair cancellation: attempt `$cs` of user
+        // `$u` (class `$cls`) lost the race or was torn down. The single
+        // textual increment site for `hedge_cancels` in this driver
+        // (detlint's counter-conservation pass enforces exactly one),
+        // shared by hedge teardown and the hedge-won path below.
+        macro_rules! hedge_cancelled {
+            ($now:expr, $u:expr, $cs:expr, $cls:expr) => {{
+                outstanding[$cs] -= 1;
+                hedge_cancels += 1;
+                shards[$cs].cnt.hedge_cancels += 1;
+                if obs_on {
+                    obs.record(
+                        TraceEvent::new($now, TraceKind::HedgeCancel)
+                            .conn($u)
+                            .class($cls)
+                            .arg($cs as u64),
+                    );
+                }
+            }};
+        }
+
         // Cancels the user's outstanding hedge attempt, if any (its shard
         // lost the race, or the whole request failed/was abandoned).
         macro_rules! cancel_hedge {
             ($now:expr, $u:expr) => {{
                 if let Some(t) = req[$u].as_mut() {
                     if let Some((hs, _he)) = t.hedge.take() {
-                        outstanding[hs] -= 1;
-                        hedge_cancels += 1;
-                        shards[hs].cnt.hedge_cancels += 1;
-                        if obs_on {
-                            obs.record(
-                                TraceEvent::new($now, TraceKind::HedgeCancel)
-                                    .conn($u)
-                                    .class(t.class)
-                                    .arg(hs as u64),
-                            );
-                        }
+                        let cls = t.class;
+                        hedge_cancelled!($now, $u, hs, cls);
                     }
                 }
             }};
@@ -723,6 +758,23 @@ impl Cluster {
             }};
         }
 
+        // Sole increment site for the per-shard `shed_dropped` counter: every
+        // shed disposition (drop-new, evict, evict-fallback) funnels here so
+        // the counter stays conserved across policies.
+        macro_rules! shed_drop {
+            ($now:expr, $s:expr, $conn:expr, $code:expr) => {{
+                shards[$s].cnt.shed_dropped += 1;
+                if obs_on {
+                    obs.record(
+                        TraceEvent::new($now, TraceKind::Shed)
+                            .conn($conn)
+                            .class(shards[$s].conn_info[$conn].class)
+                            .arg($code),
+                    );
+                }
+            }};
+        }
+
         // Admission control on shard `$s` (engine mirror with shard-local
         // serialization, queue and shed state).
         macro_rules! admit {
@@ -745,19 +797,10 @@ impl Cluster {
                     } else {
                         match sc.policy {
                             ShedPolicy::DropNew => {
-                                shards[$s].cnt.shed_dropped += 1;
-                                if obs_on {
-                                    obs.record(
-                                        TraceEvent::new($now, TraceKind::Shed)
-                                            .conn($conn)
-                                            .class(shards[$s].conn_info[$conn].class)
-                                            .arg(trace_codes::SHED_DROP_NEW),
-                                    );
-                                }
+                                shed_drop!($now, $s, $conn, trace_codes::SHED_DROP_NEW);
                             }
                             ShedPolicy::DropOldest => {
                                 if let Some((oc, _oe)) = shards[$s].accept_q.pop_front() {
-                                    shards[$s].cnt.shed_dropped += 1;
                                     if obs_on {
                                         obs.record(
                                             TraceEvent::new($now, TraceKind::QueueExit)
@@ -765,13 +808,8 @@ impl Cluster {
                                                 .class(shards[$s].conn_info[oc].class)
                                                 .arg(trace_codes::Q_ACCEPT),
                                         );
-                                        obs.record(
-                                            TraceEvent::new($now, TraceKind::Shed)
-                                                .conn(oc)
-                                                .class(shards[$s].conn_info[oc].class)
-                                                .arg(trace_codes::SHED_EVICT),
-                                        );
                                     }
+                                    shed_drop!($now, $s, oc, trace_codes::SHED_EVICT);
                                     shards[$s].accept_q.push_back(($conn, $ep));
                                     if obs_on {
                                         obs.record(
@@ -782,15 +820,7 @@ impl Cluster {
                                         );
                                     }
                                 } else {
-                                    shards[$s].cnt.shed_dropped += 1;
-                                    if obs_on {
-                                        obs.record(
-                                            TraceEvent::new($now, TraceKind::Shed)
-                                                .conn($conn)
-                                                .class(shards[$s].conn_info[$conn].class)
-                                                .arg(trace_codes::SHED_DROP_NEW),
-                                        );
-                                    }
+                                    shed_drop!($now, $s, $conn, trace_codes::SHED_DROP_NEW);
                                 }
                             }
                             ShedPolicy::RejectFast => {
@@ -914,17 +944,7 @@ impl Cluster {
                             // The hedge won the race; the primary attempt
                             // is the cancelled side of the pair.
                             let (ps, _pe) = track.primary;
-                            outstanding[ps] -= 1;
-                            hedge_cancels += 1;
-                            shards[ps].cnt.hedge_cancels += 1;
-                            if obs_on {
-                                obs.record(
-                                    TraceEvent::new($now, TraceKind::HedgeCancel)
-                                        .conn($conn)
-                                        .class(track.class)
-                                        .arg(ps as u64),
-                                );
-                            }
+                            hedge_cancelled!($now, $conn, ps, track.class);
                         }
                         outstanding[$s] -= 1;
                         req[$conn] = None;

@@ -29,6 +29,7 @@
 //! plus hedging contains a single-shard brownout, while unbudgeted
 //! cross-shard retries propagate it fleet-wide.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -37,6 +38,7 @@ mod cluster;
 mod hedge;
 mod parallel;
 mod scenario;
+mod schedule;
 
 pub use balancer::{mix64, Balancer, BalancerKind, ConsistentHashRing};
 pub use cluster::{
@@ -45,3 +47,4 @@ pub use cluster::{
 pub use hedge::{HedgeConfig, HedgeEstimator};
 pub use parallel::{ParallelCluster, ParallelHealth, WorkerHealth};
 pub use scenario::{BrownoutSpec, FleetScenario};
+pub use schedule::{SchedulePlan, ScheduleTrace, VirtualSched};

@@ -78,6 +78,7 @@ use asyncinv_workload::{ClientEvent, ClientPool, RetryBudget, UserId};
 use crate::cluster::{
     Cluster, Counters, FleetConfig, FleetReq, FleetSummary, Serving, ShardObs, ShardSummary,
 };
+use crate::schedule::{SchedulePlan, ScheduleTrace, VirtualSched};
 use crate::hedge::HedgeEstimator;
 
 /// A machine-lane event: pure per-shard machine work.
@@ -655,6 +656,52 @@ impl ParallelCluster {
         self.drive(&vec![kind; self.cfg.shards], obs)
     }
 
+    /// Runs a homogeneous fleet under an explicit [`SchedulePlan`]: the
+    /// virtual scheduler permutes the execution and fold-back order of
+    /// every conservative-sync batch, and the caller asserts the result is
+    /// byte-identical to the canonical schedule's. Scheduled runs are
+    /// single-threaded — the permutation *is* the modeled concurrency, so
+    /// OS threads would only add wall-clock noise on top of it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on 1-shard fleets: those delegate to the interleaved driver
+    /// and have no batch schedule to explore.
+    pub fn run_scheduled(&self, kind: ServerKind, plan: SchedulePlan) -> (FleetSummary, ScheduleTrace) {
+        let mut obs = NoopObserver;
+        self.drive_scheduled(kind, plan, &mut obs)
+    }
+
+    /// [`ParallelCluster::run_scheduled`] with structured tracing: the
+    /// returned [`Recorder`] must be bit-identical to
+    /// [`ParallelCluster::run_traced`]'s under every plan.
+    pub fn run_traced_scheduled(
+        &self,
+        kind: ServerKind,
+        plan: SchedulePlan,
+    ) -> (FleetSummary, Recorder, ScheduleTrace) {
+        let mut rec =
+            Recorder::with_sampling(self.cfg.cell.trace_capacity, self.cfg.cell.trace_sample);
+        let (summary, trace) = self.drive_scheduled(kind, plan, &mut rec);
+        (summary, rec, trace)
+    }
+
+    fn drive_scheduled(
+        &self,
+        kind: ServerKind,
+        plan: SchedulePlan,
+        obs: &mut dyn Observer,
+    ) -> (FleetSummary, ScheduleTrace) {
+        assert!(
+            self.cfg.shards > 1,
+            "schedule exploration needs a multi-shard fleet (1-shard fleets have no batches)"
+        );
+        let kinds = vec![kind; self.cfg.shards];
+        let mut sched = VirtualSched::new(plan);
+        let (summary, _) = self.drive_parallel(&kinds, obs, 1, Some(&mut sched));
+        (summary, sched.trace)
+    }
+
     fn drive(&self, kinds: &[ServerKind], obs: &mut dyn Observer) -> FleetSummary {
         self.drive_health(kinds, obs).0
     }
@@ -677,7 +724,7 @@ impl ParallelCluster {
         } else {
             self.threads
         };
-        self.drive_parallel(kinds, obs, threads)
+        self.drive_parallel(kinds, obs, threads, None)
     }
 
     #[allow(clippy::too_many_lines)]
@@ -686,6 +733,7 @@ impl ParallelCluster {
         kinds: &[ServerKind],
         obs: &mut dyn Observer,
         threads: usize,
+        mut sched: Option<&mut VirtualSched>,
     ) -> (FleetSummary, ParallelHealth) {
         let cfg = &self.cfg;
         let cell = &cfg.cell;
@@ -887,21 +935,33 @@ impl ParallelCluster {
             };
         }
 
+        // Charges one hedged-pair cancellation: attempt `$cs` of user `$u`
+        // (class `$cls`) lost the race or was torn down. The single textual
+        // increment site for `hedge_cancels` in this driver (detlint's
+        // counter-conservation pass enforces exactly one), shared by hedge
+        // teardown and the hedge-won path below.
+        macro_rules! hedge_cancelled {
+            ($now:expr, $u:expr, $cs:expr, $cls:expr) => {{
+                outstanding[$cs] -= 1;
+                hedge_cancels += 1;
+                ctls[$cs].cnt.hedge_cancels += 1;
+                if obs_on {
+                    obs.record(
+                        TraceEvent::new($now, TraceKind::HedgeCancel)
+                            .conn($u)
+                            .class($cls)
+                            .arg($cs as u64),
+                    );
+                }
+            }};
+        }
+
         macro_rules! cancel_hedge {
             ($now:expr, $u:expr) => {{
                 if let Some(t) = req[$u].as_mut() {
                     if let Some((hs, _he)) = t.hedge.take() {
-                        outstanding[hs] -= 1;
-                        hedge_cancels += 1;
-                        ctls[hs].cnt.hedge_cancels += 1;
-                        if obs_on {
-                            obs.record(
-                                TraceEvent::new($now, TraceKind::HedgeCancel)
-                                    .conn($u)
-                                    .class(t.class)
-                                    .arg(hs as u64),
-                            );
-                        }
+                        let cls = t.class;
+                        hedge_cancelled!($now, $u, hs, cls);
                     }
                 }
             }};
@@ -1001,6 +1061,23 @@ impl ParallelCluster {
             };
         }
 
+        // Sole increment site for the per-shard `shed_dropped` counter: every
+        // shed disposition (drop-new, evict, evict-fallback) funnels here so
+        // the counter stays conserved across policies.
+        macro_rules! shed_drop {
+            ($now:expr, $s:expr, $conn:expr, $code:expr) => {{
+                ctls[$s].cnt.shed_dropped += 1;
+                if obs_on {
+                    obs.record(
+                        TraceEvent::new($now, TraceKind::Shed)
+                            .conn($conn)
+                            .class(conn_class!($s, $conn))
+                            .arg($code),
+                    );
+                }
+            }};
+        }
+
         macro_rules! admit {
             ($now:expr, $s:expr, $conn:expr, $ep:expr) => {{
                 if cores[$s].as_ref().expect("core checked in").serving[$conn].is_some() {
@@ -1021,19 +1098,10 @@ impl ParallelCluster {
                     } else {
                         match sc.policy {
                             ShedPolicy::DropNew => {
-                                ctls[$s].cnt.shed_dropped += 1;
-                                if obs_on {
-                                    obs.record(
-                                        TraceEvent::new($now, TraceKind::Shed)
-                                            .conn($conn)
-                                            .class(conn_class!($s, $conn))
-                                            .arg(trace_codes::SHED_DROP_NEW),
-                                    );
-                                }
+                                shed_drop!($now, $s, $conn, trace_codes::SHED_DROP_NEW);
                             }
                             ShedPolicy::DropOldest => {
                                 if let Some((oc, _oe)) = ctls[$s].accept_q.pop_front() {
-                                    ctls[$s].cnt.shed_dropped += 1;
                                     if obs_on {
                                         obs.record(
                                             TraceEvent::new($now, TraceKind::QueueExit)
@@ -1041,13 +1109,8 @@ impl ParallelCluster {
                                                 .class(conn_class!($s, oc))
                                                 .arg(trace_codes::Q_ACCEPT),
                                         );
-                                        obs.record(
-                                            TraceEvent::new($now, TraceKind::Shed)
-                                                .conn(oc)
-                                                .class(conn_class!($s, oc))
-                                                .arg(trace_codes::SHED_EVICT),
-                                        );
                                     }
+                                    shed_drop!($now, $s, oc, trace_codes::SHED_EVICT);
                                     ctls[$s].accept_q.push_back(($conn, $ep));
                                     if obs_on {
                                         obs.record(
@@ -1058,15 +1121,7 @@ impl ParallelCluster {
                                         );
                                     }
                                 } else {
-                                    ctls[$s].cnt.shed_dropped += 1;
-                                    if obs_on {
-                                        obs.record(
-                                            TraceEvent::new($now, TraceKind::Shed)
-                                                .conn($conn)
-                                                .class(conn_class!($s, $conn))
-                                                .arg(trace_codes::SHED_DROP_NEW),
-                                        );
-                                    }
+                                    shed_drop!($now, $s, $conn, trace_codes::SHED_DROP_NEW);
                                 }
                             }
                             ShedPolicy::RejectFast => {
@@ -1192,17 +1247,7 @@ impl ParallelCluster {
                             // The hedge won the race; the primary attempt
                             // is the cancelled side of the pair.
                             let (ps, _pe) = track.primary;
-                            outstanding[ps] -= 1;
-                            hedge_cancels += 1;
-                            ctls[ps].cnt.hedge_cancels += 1;
-                            if obs_on {
-                                obs.record(
-                                    TraceEvent::new($now, TraceKind::HedgeCancel)
-                                        .conn($conn)
-                                        .class(track.class)
-                                        .arg(ps as u64),
-                                );
-                            }
+                            hedge_cancelled!($now, $conn, ps, track.class);
                         }
                         outstanding[$s] -= 1;
                         req[$conn] = None;
@@ -1500,6 +1545,29 @@ impl ParallelCluster {
                                 (1..expect).map(|_| res_rx.recv().expect("phase worker alive")),
                             );
                             health.coord_wait_ns += wait.elapsed().as_nanos() as u64;
+                            outs
+                        } else if let Some(vs) = sched.as_deref_mut() {
+                            // Scheduled mode: the virtual scheduler picks
+                            // the order jobs execute and the order their
+                            // outs fold back. Each job still runs exactly
+                            // once and each out is consumed exactly once —
+                            // only the orders move, which is precisely the
+                            // freedom real OS workers have.
+                            let busy = wall_now();
+                            let (exec, cons) = vs.batch_orders(jobs.len());
+                            let mut jobs: Vec<Option<PhaseJob>> =
+                                jobs.into_iter().map(Some).collect();
+                            let mut slots: Vec<Option<PhaseOut>> =
+                                (0..jobs.len()).map(|_| None).collect();
+                            for &i in &exec {
+                                let job = jobs[i].take().expect("each job runs once");
+                                slots[i] = Some(run_phase(job, &cell.profile, obs_on));
+                            }
+                            let outs = cons
+                                .into_iter()
+                                .map(|i| slots[i].take().expect("each out folds back once"))
+                                .collect();
+                            health.coord_busy_ns += busy.elapsed().as_nanos() as u64;
                             outs
                         } else {
                             let busy = wall_now();

@@ -31,6 +31,7 @@
 //! assert!((45..=55).contains(&p50.as_millis()));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

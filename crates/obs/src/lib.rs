@@ -43,6 +43,7 @@
 //! assert_eq!(rec.total(TraceKind::RequestArrive), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -722,6 +722,23 @@ impl Experiment {
             }};
         }
 
+        // Sheds one arrival on `$conn` under policy code `$code`: the
+        // single textual increment site for `shed_dropped` in this engine
+        // (detlint's counter-conservation pass enforces exactly one).
+        macro_rules! shed_drop {
+            ($now:expr, $conn:expr, $code:expr) => {{
+                shed_dropped += 1;
+                if obs_on {
+                    obs.record(
+                        TraceEvent::new($now, TraceKind::Shed)
+                            .conn($conn)
+                            .class(conn_info[$conn].class)
+                            .arg($code),
+                    );
+                }
+            }};
+        }
+
         // Admission control for a valid arrival: per-connection
         // serialization first (a retransmission of a request whose previous
         // response is still being produced parks in `pending_arrival`),
@@ -746,19 +763,10 @@ impl Experiment {
                     } else {
                         match sc.policy {
                             ShedPolicy::DropNew => {
-                                shed_dropped += 1;
-                                if obs_on {
-                                    obs.record(
-                                        TraceEvent::new($now, TraceKind::Shed)
-                                            .conn($conn)
-                                            .class(conn_info[$conn].class)
-                                            .arg(crate::trace_codes::SHED_DROP_NEW),
-                                    );
-                                }
+                                shed_drop!($now, $conn, crate::trace_codes::SHED_DROP_NEW);
                             }
                             ShedPolicy::DropOldest => {
                                 if let Some((oc, _oe)) = accept_q.pop_front() {
-                                    shed_dropped += 1;
                                     if obs_on {
                                         obs.record(
                                             TraceEvent::new($now, TraceKind::QueueExit)
@@ -766,13 +774,8 @@ impl Experiment {
                                                 .class(conn_info[oc].class)
                                                 .arg(crate::trace_codes::Q_ACCEPT),
                                         );
-                                        obs.record(
-                                            TraceEvent::new($now, TraceKind::Shed)
-                                                .conn(oc)
-                                                .class(conn_info[oc].class)
-                                                .arg(crate::trace_codes::SHED_EVICT),
-                                        );
                                     }
+                                    shed_drop!($now, oc, crate::trace_codes::SHED_EVICT);
                                     accept_q.push_back(($conn, $ep));
                                     if obs_on {
                                         obs.record(
@@ -785,15 +788,7 @@ impl Experiment {
                                 } else {
                                     // Zero-capacity queue degenerates to
                                     // dropping the newcomer.
-                                    shed_dropped += 1;
-                                    if obs_on {
-                                        obs.record(
-                                            TraceEvent::new($now, TraceKind::Shed)
-                                                .conn($conn)
-                                                .class(conn_info[$conn].class)
-                                                .arg(crate::trace_codes::SHED_DROP_NEW),
-                                        );
-                                    }
+                                    shed_drop!($now, $conn, crate::trace_codes::SHED_DROP_NEW);
                                 }
                             }
                             ShedPolicy::RejectFast => {

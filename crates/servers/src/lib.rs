@@ -36,6 +36,7 @@
 //! assert_eq!(summary.server, "SingleT-Async");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

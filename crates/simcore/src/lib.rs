@@ -37,6 +37,7 @@
 //! assert!(sim.next_event().is_none());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -44,6 +44,7 @@
 //! assert_eq!(world.conn_stats(conn).zero_writes, 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -33,6 +33,8 @@
 //! the counter deltas — the same invariant the rest of the workspace
 //! audits (`asyncinv-obs`' `trace_audit`).
 
+#![forbid(unsafe_code)]
+
 use asyncinv_simcore::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -189,19 +191,24 @@ pub struct UringCounters {
     /// `io_uring_enter` flush crossings ([`Ring::begin_flush`]).
     pub sq_flushes: u64,
     /// SQEs carried by those flushes (for batch-size analysis).
+    // detlint::allow(counter-unaudited, reason = "batch-size analysis detail; the flush crossings it rides on are audited via sq_flushes")
     pub flushed_sqes: u64,
     /// Reap passes ([`Ring::reap`] on a non-empty completion ring).
     pub cq_reaps: u64,
     /// CQEs drained by those passes.
+    // detlint::allow(counter-unaudited, reason = "reap-batch detail; the reap passes it rides on are audited via cq_reaps")
     pub reaped_cqes: u64,
     /// Staging attempts that found the submission ring full
     /// ([`Ring::try_stage`] → [`StageOutcome::Full`]).
     pub sq_full: u64,
     /// High-water mark of registered buffers simultaneously held.
+    // detlint::allow(counter-unaudited, reason = "high-water gauge, not an event count; exported as the sXX/buf_high_water registry counter")
     pub buf_high_water: u64,
     /// Writes that wanted a registered buffer but found the pool empty.
+    // detlint::allow(counter-unaudited, reason = "pool-sizing diagnostic; fallback writes still traverse the audited write path")
     pub buf_fallbacks: u64,
     /// High-water mark of unreaped CQEs (pressure on `cq_depth`).
+    // detlint::allow(counter-unaudited, reason = "high-water gauge, not an event count; exported as the sXX/cq_high_water registry counter")
     pub cq_high_water: u64,
 }
 

@@ -34,6 +34,7 @@
 //! assert_eq!(out.len(), 8); // one initial send per user
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: the tier-1 contract plus the static-analysis and schedule-race
+# gates, in one short command. This is the subset of scripts/smoke.sh a
+# PR must keep green before anything else is worth running.
+#
+#   scripts/ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build (release) =="
+cargo build --release
+
+echo "== tier 1: tests =="
+cargo test -q
+
+echo "== gate: detlint (determinism + coverage + counter conservation) =="
+cargo run --release -p detlint -- check --json results/detlint-report.json
+
+echo "== gate: schedule explorer (enumerated + shuffled interleavings, bitwise) =="
+cargo run --release -p asyncinv-bench --bin schedule_explorer -- --quick
+
+echo "ci OK"

@@ -72,6 +72,9 @@ test -s results/fleet-sweep.json
 echo "== parallel fleet: conservative-sync driver == interleaved, bitwise =="
 cargo test -q --release --test prop_parallel
 
+echo "== schedule explorer: enumerated + shuffled interleavings, bitwise =="
+cargo run --release -p asyncinv-bench --bin schedule_explorer -- --quick
+
 echo "== kernel bench sweep (quick; asserts runner + parallel-fleet + fault-plane bit-identity) =="
 ASYNCINV_BENCH_OUT="$obs_dir/BENCH_kernel.quick.json" \
     cargo run --release -p asyncinv-bench --bin kernel_bench -- --quick
@@ -79,5 +82,34 @@ test -s "$obs_dir/BENCH_kernel.quick.json"
 
 echo "== benches compile =="
 cargo bench --no-run
+
+# Opt-in sanitizer lanes: SMOKE_SANITIZERS=1 scripts/smoke.sh. They need
+# the nightly toolchain and add minutes of build time, so they are not
+# part of the default lane; the schedule explorer above covers the same
+# race surface deterministically on every run.
+if [[ "${SMOKE_SANITIZERS:-0}" == "1" ]]; then
+    host="$(rustc -vV | sed -n 's/host: //p')"
+    if rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+        echo "== sanitizer lane: ThreadSanitizer on the parallel-driver suite =="
+        # A dedicated target dir keeps the instrumented artifacts out of
+        # the normal cache; the explicit --target makes RUSTFLAGS apply
+        # only to the test crate graph, not build scripts. std itself is
+        # not rebuilt (no rust-src in the container), hence the explicit
+        # ABI-mismatch override and the suppressions for std's own
+        # uninstrumented channel internals (see scripts/tsan.supp).
+        RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer" \
+            TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+            CARGO_TARGET_DIR=target/tsan \
+            cargo +nightly test --release --target "$host" --test prop_parallel
+    else
+        echo "== sanitizer lane: nightly toolchain not installed, skipping TSan =="
+    fi
+    if cargo +nightly miri --version >/dev/null 2>&1; then
+        echo "== sanitizer lane: Miri on the schedule unit tests =="
+        cargo +nightly miri test -p asyncinv-fleet schedule::
+    else
+        echo "== sanitizer lane: Miri not installed (offline container), skipping =="
+    fi
+fi
 
 echo "smoke OK"

@@ -5,6 +5,8 @@
 //! dependency. See the [`asyncinv`] crate for the public API and the
 //! repository `README.md`/`DESIGN.md` for the architecture overview.
 
+#![forbid(unsafe_code)]
+
 pub use asyncinv;
 pub use asyncinv_cpu as cpu;
 pub use asyncinv_metrics as metrics;

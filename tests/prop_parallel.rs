@@ -8,8 +8,8 @@
 
 use asyncinv::fault::{FaultEvent, FaultKind, FaultPlan, ShedConfig, ShedPolicy};
 use asyncinv::fleet::{
-    fleet_audit, BalancerKind, Cluster, FleetConfig, HedgeConfig, ParallelCluster, ShardFault,
-    ShardShed,
+    fleet_audit, BalancerKind, Cluster, FleetConfig, HedgeConfig, ParallelCluster, SchedulePlan,
+    ShardFault, ShardShed,
 };
 use asyncinv::obs::{Recorder, TraceEvent};
 use asyncinv::prelude::*;
@@ -104,15 +104,22 @@ fn mixed_parallel_fleet_is_bit_identical_to_interleaved() {
     }
 }
 
-/// With every plane engaged — retries, hedging, a mid-run shard fault,
-/// and a shed override — the parallel run still reproduces the
-/// interleaved run bitwise, including the full trace stream: same
-/// events in the same order, same thread names, same exported counters
-/// and (bit-compared) gauges. The fleet audit must pass on the parallel
-/// trace.
-#[test]
-fn traced_parallel_run_reproduces_interleaved_trace_bitwise() {
-    let mut cfg = FleetConfig::new(retrying_cell(), 3, BalancerKind::PowerOfTwoChoices {
+/// A stressed 3-shard fleet with every plane engaged — retries, hedging,
+/// a mid-run shard fault, and a shed override. Shared by the traced
+/// bit-identity test and the schedule-race explorer tests (and mirrored
+/// by `asyncinv-bench`'s `schedule_explorer` bin).
+fn stressed_cfg() -> FleetConfig {
+    stressed_cfg_measure(400)
+}
+
+/// [`stressed_cfg`] with an explicit measurement-window length. The
+/// schedule explorer tests run dozens of full simulations, so they use a
+/// shorter window (the fault at 200 ms and the shed/hedge planes still
+/// engage well inside it).
+fn stressed_cfg_measure(measure_ms: u64) -> FleetConfig {
+    let mut base = retrying_cell();
+    base.measure = SimDuration::from_millis(measure_ms);
+    let mut cfg = FleetConfig::new(base, 3, BalancerKind::PowerOfTwoChoices {
         seed: 0x5eed,
     });
     cfg.cell.trace_capacity = 1 << 16;
@@ -139,6 +146,18 @@ fn traced_parallel_run_reproduces_interleaved_trace_bitwise() {
             reject_bytes: 256,
         },
     }];
+    cfg
+}
+
+/// With every plane engaged — retries, hedging, a mid-run shard fault,
+/// and a shed override — the parallel run still reproduces the
+/// interleaved run bitwise, including the full trace stream: same
+/// events in the same order, same thread names, same exported counters
+/// and (bit-compared) gauges. The fleet audit must pass on the parallel
+/// trace.
+#[test]
+fn traced_parallel_run_reproduces_interleaved_trace_bitwise() {
+    let cfg = stressed_cfg();
     let (a, rec_a) = Cluster::new(cfg.clone()).run_traced(ServerKind::NettyLike);
     for threads in [1usize, 2, 4] {
         let (b, rec_b) =
@@ -155,6 +174,51 @@ fn traced_parallel_run_reproduces_interleaved_trace_bitwise() {
     assert!(a.fleet.fault_events > 0, "the fault must actually fire");
     assert!(a.fleet.hedges > 0, "hedging must actually fire");
     assert!(a.fleet.shed_dropped > 0, "the shed override must actually shed");
+}
+
+/// Schedule-race exploration, bounded-exhaustive regime: every enumerated
+/// (rotation × reversal) permutation of batch execution and fold-back
+/// order — all relative orderings a 3-shard batch can exhibit — yields
+/// the canonical summary, trace stream, counters and gauges, bitwise.
+/// The schedule traces prove the runs actually walked different
+/// interleavings: permuted batches are counted and the signatures of
+/// non-identity plans differ from the canonical one.
+#[test]
+fn every_enumerated_schedule_is_bit_identical() {
+    let cfg = stressed_cfg_measure(200);
+    let kind = ServerKind::NettyLike;
+    let (a, rec_a, trace_a) = ParallelCluster::new(cfg.clone())
+        .run_traced_scheduled(kind, SchedulePlan::Canonical);
+    assert!(trace_a.batches > 0, "the stressed fleet must batch");
+    assert_eq!(trace_a.permuted_batches, 0, "canonical never permutes");
+    // The scheduled path itself must not disturb the result: canonical
+    // scheduling equals the interleaved driver bitwise.
+    let (i, rec_i) = Cluster::new(cfg.clone()).run_traced(kind);
+    assert_eq!(i, a, "canonical schedule diverged from the interleaved driver");
+    assert_eq!(trace_state(&rec_i), trace_state(&rec_a));
+    let mut distinct = std::collections::BTreeSet::new();
+    distinct.insert(trace_a.signature);
+    for plan in SchedulePlan::enumerate(3) {
+        let (b, rec_b, trace_b) =
+            ParallelCluster::new(cfg.clone()).run_traced_scheduled(kind, plan);
+        assert_eq!(a, b, "summary diverged under {plan:?}");
+        assert_eq!(
+            trace_state(&rec_a),
+            trace_state(&rec_b),
+            "trace diverged under {plan:?}"
+        );
+        assert_eq!(trace_a.batches, trace_b.batches, "{plan:?} saw different batches");
+        assert_eq!(trace_a.jobs, trace_b.jobs, "{plan:?} saw different jobs");
+        distinct.insert(trace_b.signature);
+        if !matches!(plan, SchedulePlan::Canonical) {
+            assert!(trace_b.permuted_batches > 0, "{plan:?} never actually permuted");
+        }
+    }
+    assert!(
+        distinct.len() > 20,
+        "the enumerated plans must walk many distinct schedules, got {}",
+        distinct.len()
+    );
 }
 
 /// Repeated parallel runs of the same config — fresh worker pools, fresh
@@ -220,5 +284,30 @@ proptest! {
         let c = ParallelCluster::new(cfg).threads(1).run(kind);
         prop_assert_eq!(&a, &c, "single-worker parallel diverged");
         prop_assert!(a.fleet.completions > 0);
+    }
+
+    /// Schedule-race exploration, seeded-shuffle regime: a per-batch
+    /// Fisher–Yates shuffle of worker completion and fold-back order on
+    /// the stressed fleet — every plane engaged — is byte-identical to
+    /// the canonical schedule, summary and full trace state, for
+    /// arbitrary seeds.
+    #[test]
+    fn shuffled_schedule_is_bit_identical_on_stressed_fleet(seed in 0u64..1_000_000) {
+        let cfg = stressed_cfg_measure(200);
+        let kind = ServerKind::NettyLike;
+        let (a, rec_a, trace_a) = ParallelCluster::new(cfg.clone())
+            .run_traced_scheduled(kind, SchedulePlan::Canonical);
+        let (b, rec_b, trace_b) = ParallelCluster::new(cfg)
+            .run_traced_scheduled(kind, SchedulePlan::Shuffled { seed });
+        prop_assert_eq!(&a, &b, "summary diverged under shuffled seed {}", seed);
+        prop_assert_eq!(
+            trace_state(&rec_a),
+            trace_state(&rec_b),
+            "trace diverged under shuffled seed {}",
+            seed
+        );
+        prop_assert_eq!(trace_a.batches, trace_b.batches);
+        prop_assert!(trace_b.permuted_batches > 0, "the shuffle never actually permuted");
+        prop_assert!(a.fleet.hedges > 0 && a.fleet.shed_dropped > 0 && a.fleet.fault_events > 0);
     }
 }
