@@ -69,6 +69,7 @@ fn brownout_scenario() -> FleetScenario {
             percentile: 0.9,
             initial_delay: SimDuration::from_millis(5),
             min_samples: 64,
+            per_shard: false,
         }),
         timeout: SimDuration::from_millis(25),
         max_retries: 5,
@@ -206,11 +207,9 @@ fn run_scenario(path: &str, kind: ServerKind) {
         eprintln!("error: {path}: {e}");
         std::process::exit(2);
     }
-    // FleetScenario carries no PartialEq; round-trip both through the
-    // same serializer and compare the canonical forms instead.
     assert_eq!(
-        serde_json::to_string_pretty(&scenario).expect("serialize loaded scenario"),
-        serde_json::to_string_pretty(&brownout_scenario()).expect("serialize canonical scenario"),
+        scenario,
+        brownout_scenario(),
         "checked-in scenario drifted from source (regenerate with --write-scenario)"
     );
     banner(
@@ -245,6 +244,13 @@ fn run_scenario(path: &str, kind: ServerKind) {
         eprintln!("fleet scenario audit failure:\n{report}");
     }
 
+    // Same budgeted policy, but the hedge-delay estimator keyed by shard:
+    // the browned-out shard's completions no longer inflate the healthy
+    // shards' p90, so hedges for healthy-shard attempts stay tight.
+    let mut keyed_cfg = scenario.fleet_config(0.1, true);
+    keyed_cfg.hedge = keyed_cfg.hedge.map(|h| HedgeConfig { per_shard: true, ..h });
+    let keyed = Cluster::new(keyed_cfg).run(kind);
+
     let storm = Cluster::new(scenario.fleet_config(0.0, false)).run(kind);
 
     let loss =
@@ -264,6 +270,7 @@ fn run_scenario(path: &str, kind: ServerKind) {
     for (name, s, audited) in [
         ("baseline (no fault)", &baseline, false),
         ("budget 0.1 + hedge", &budgeted, true),
+        ("budget 0.1 + per-shard hedge", &keyed, false),
         ("unbudgeted retries", &storm, false),
     ] {
         t.row(vec![

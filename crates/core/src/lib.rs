@@ -76,6 +76,16 @@ pub mod fleet {
     };
 }
 
+/// Multi-tier async RPC service graphs over calibrated fleets (see
+/// `docs/dag.md`).
+pub mod dag {
+    pub use asyncinv_dag::{
+        calibrate_tier, dag_audit, dag_span_audit, ArrivalSpec, CalSpec, DagAttempt, DagOutcome,
+        DagRun, DagSpan, DagSpanStatus, DagSummary, EdgeSpec, FleetDriver, ServiceGraph, SlowTier,
+        TierCounters, TierProfile, TierSpec, EDGE_ROOT, LATTICE,
+    };
+}
+
 /// The RUBBoS 3-tier macro benchmark (paper Section II / Fig 1).
 pub mod rubbos {
     pub use asyncinv_servers::rubbos_engine::{InteractionSummary, RubbosExperiment, RubbosSummary};

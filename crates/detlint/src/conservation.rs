@@ -191,7 +191,7 @@ impl ConservationConfig {
         );
         let crate_roots = [
             "simcore", "core", "tcp", "cpu", "servers", "workload", "fault", "metrics", "obs",
-            "bench", "fleet", "uring",
+            "bench", "fleet", "uring", "dag",
         ];
         let mut forbid_unsafe_roots: Vec<PathBuf> = crate_roots
             .iter()
@@ -261,6 +261,24 @@ impl ConservationConfig {
                     // its contract is consumption by the fleet audit.
                     check_increments: false,
                     audits: vec![fleet_audit],
+                    summed: Vec::new(),
+                },
+                CounterSpec {
+                    strukt: "TierCounters".into(),
+                    def_file: "crates/dag/src/summary.rs".into(),
+                    exclude: Vec::new(),
+                    aliases: Vec::new(),
+                    // The DAG driver is the only increment scope; the
+                    // summary's fold (`sums.x += t.x`) and the bench
+                    // studies only read the finished counters.
+                    scopes: vec!["crates/dag/src/driver.rs".into()],
+                    check_increments: true,
+                    audits: vec![AuditSurface::new(
+                        "crates/dag/src/summary.rs",
+                        "dag_audit",
+                        &["t", "root"],
+                        "dag-audit per-tier reconciliation (summary::dag_audit)",
+                    )],
                     summed: Vec::new(),
                 },
                 CounterSpec {

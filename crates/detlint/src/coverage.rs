@@ -121,6 +121,7 @@ impl CoverageConfig {
                 "crates/workload/src".into(),
                 "crates/fault/src".into(),
                 "crates/fleet/src".into(),
+                "crates/dag/src".into(),
                 "crates/core/src".into(),
             ],
         }

@@ -34,6 +34,9 @@ const FILES: &[&str] = &[
     "crates/obs/src/lib.rs",
     "crates/bench/src/lib.rs",
     "crates/fleet/src/lib.rs",
+    "crates/dag/src/lib.rs",
+    "crates/dag/src/summary.rs",
+    "crates/dag/src/driver.rs",
     "src/lib.rs",
 ];
 
@@ -185,6 +188,57 @@ fn stripping_a_waiver_fails() {
     let v = violations(&dir);
     assert!(
         v.iter().any(|d| d.lint == "counter-dead" && d.message.contains("abandoned")),
+        "{v:?}"
+    );
+}
+
+/// The DAG per-tier counters are under the same contract: deleting the
+/// sole increment site of `orphans` (a counter with no trace-event
+/// mirror — it is only closed by the reply-conservation identity) leaves
+/// a dead field.
+#[test]
+fn deleting_a_dag_increment_site_fails() {
+    let dir = scratch("consmut-dag-dead");
+    mutate(&dir, "crates/dag/src/driver.rs", |src| {
+        src.replace("self.counters[cnode].orphans += 1;", "")
+    });
+    let v = violations(&dir);
+    assert!(
+        v.iter().any(|d| d.lint == "counter-dead" && d.message.contains("orphans")),
+        "{v:?}"
+    );
+}
+
+/// A second dispatch-count site in the DAG driver — the double-count a
+/// refactor of `dispatch_child` could introduce — is flagged.
+#[test]
+fn duplicating_a_dag_increment_site_fails() {
+    let dir = scratch("consmut-dag-dup");
+    mutate(&dir, "crates/dag/src/driver.rs", |src| {
+        format!(
+            "{src}\nfn consmut_extra(t: &mut crate::summary::TierCounters) {{ t.dispatches += 1; }}\n"
+        )
+    });
+    let v = violations(&dir);
+    assert!(
+        v.iter()
+            .any(|d| d.lint == "counter-dup-increment" && d.message.contains("dispatches")),
+        "{v:?}"
+    );
+}
+
+/// Deleting `dag_audit`'s read of a per-tier counter makes the field
+/// unaudited: every `TierCounters` field must be reconciled against the
+/// trace or a conservation identity.
+#[test]
+fn deleting_a_dag_audit_read_fails() {
+    let dir = scratch("consmut-dag-unaudited");
+    mutate(&dir, "crates/dag/src/summary.rs", |src| {
+        src.replace("sums.served += t.served;", "")
+    });
+    let v = violations(&dir);
+    assert!(
+        v.iter().any(|d| d.lint == "counter-unaudited" && d.message.contains("served")),
         "{v:?}"
     );
 }

@@ -195,6 +195,48 @@ fn fleet_kinds_are_dead_without_the_fleet_emitter() {
     }
 }
 
+/// The service-graph trace kinds are schema like any other: deleting the
+/// `DagDispatch` arm from every surface must fail the analyzer.
+#[test]
+fn deleting_a_dag_arm_from_any_surface_fails_the_analyzer() {
+    for (i, file) in TRACE_SURFACE_FILES.iter().enumerate() {
+        let dir = scratch(&format!("covmut-dag-arm-{i}"));
+        let path = dir.join(file);
+        let orig = fs::read_to_string(&path).unwrap();
+        let mutated = delete_kind(&orig, "TraceKind::DagDispatch");
+        assert_ne!(orig, mutated, "{file}: mutation must change the file");
+        fs::write(&path, mutated).unwrap();
+        let (diags, _) = analyze(&dir, &config());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.lint == "trace-coverage" && d.message.contains("DagDispatch")),
+            "{file}: analyzer missed the deleted dag arm: {diags:?}"
+        );
+    }
+}
+
+/// With the dag crate absent from the emitter directories, the DAG kinds
+/// become dead trace codes: this is the check that forces
+/// `crates/dag/src` to stay in `emitter_dirs`.
+#[test]
+fn dag_kinds_are_dead_without_the_dag_emitter() {
+    let dir = scratch("covmut-dag-dead");
+    fs::create_dir_all(dir.join("empty")).unwrap();
+    let cfg = CoverageConfig {
+        emitter_dirs: vec!["empty".into()],
+        ..CoverageConfig::repo_default()
+    };
+    let (_, summary) = analyze(&dir, &cfg);
+    for kind in ["DagDispatch", "DagJoin", "DagEdgeRetry"] {
+        assert!(
+            summary.dead.contains(&kind.to_string()),
+            "{kind} should be dead with no emitters: {:?}",
+            summary.dead
+        );
+    }
+}
+
 /// The span layer's `Phase` enum is schema too: deleting a phase arm from
 /// the name map, the `ALL` enumeration or the span exporter's color map
 /// must fail the analyzer, exactly like a `TraceKind` arm.

@@ -513,10 +513,21 @@ impl Cluster {
         let timeout = policy.timeout.unwrap_or_default();
         let mut budget = RetryBudget::new(&policy);
 
-        // Hedge plane (fleet-only; validation requires shards >= 2).
+        // Hedge plane (fleet-only; validation requires shards >= 2). With
+        // `per_shard` the delay estimator is keyed by shard — observations
+        // land at the shard that served the completion, and an attempt's
+        // hedge delay comes from the shard it targets — so a browned-out
+        // shard cannot drag the healthy shards' delay estimate up.
         let hcfg = cfg.hedge.unwrap_or_default();
         let hedge_on = cfg.hedge.is_some();
-        let mut hedge_est = HedgeEstimator::new();
+        let mut hedge_est: Vec<HedgeEstimator> = (0..if hcfg.per_shard { n_shards } else { 1 })
+            .map(|_| HedgeEstimator::new())
+            .collect();
+        macro_rules! hest {
+            ($s:expr) => {
+                hedge_est[if hcfg.per_shard { $s } else { 0 }]
+            };
+        }
 
         let mut req: Vec<Option<FleetReq>> = vec![None; n];
         let mut outstanding: Vec<u32> = vec![0; n_shards];
@@ -936,7 +947,7 @@ impl Cluster {
                             }
                         }
                         if hedge_on {
-                            hedge_est.observe(rt);
+                            hest!($s).observe(rt);
                         }
                         if is_primary {
                             cancel_hedge!($now, $conn);
@@ -1019,7 +1030,7 @@ impl Cluster {
                 }
                 if hedge_on {
                     sim.schedule_at(
-                        $now + hedge_est.delay(&hcfg),
+                        $now + hest!(s).delay(&hcfg),
                         FleetEvent::HedgeFire { shard: s as u32, user: u as u32, epoch: ep },
                     );
                 }
@@ -1159,7 +1170,7 @@ impl Cluster {
                         sim.schedule_at(now + timeout, FleetEvent::Timeout { shard, user, epoch });
                         if hedge_on {
                             sim.schedule_at(
-                                now + hedge_est.delay(&hcfg),
+                                now + hest!(s).delay(&hcfg),
                                 FleetEvent::HedgeFire { shard, user, epoch },
                             );
                         }

@@ -17,6 +17,14 @@ pub struct HedgeConfig {
     /// Number of observed completions required before the percentile
     /// estimate replaces `initial_delay`.
     pub min_samples: u64,
+    /// Key the delay estimator by the shard that served the completion
+    /// instead of pooling all shards into one distribution. Under an
+    /// asymmetric fleet (one shard browned out) the pooled percentile is
+    /// dragged up by the slow shard's completions, delaying hedges for
+    /// *healthy*-shard attempts exactly when they are cheap; per-shard
+    /// estimators keep the healthy delay tight. Off by default.
+    #[serde(default)]
+    pub per_shard: bool,
 }
 
 impl Default for HedgeConfig {
@@ -25,6 +33,7 @@ impl Default for HedgeConfig {
             percentile: 0.95,
             initial_delay: SimDuration::from_millis(2),
             min_samples: 32,
+            per_shard: false,
         }
     }
 }
@@ -93,6 +102,7 @@ mod tests {
             percentile: 0.9,
             initial_delay: SimDuration::from_millis(5),
             min_samples: 4,
+            per_shard: false,
         };
         let mut est = HedgeEstimator::new();
         assert_eq!(est.delay(&cfg), SimDuration::from_millis(5));

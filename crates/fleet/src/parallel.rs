@@ -794,9 +794,19 @@ impl ParallelCluster {
         let mut budget = RetryBudget::new(&policy);
 
         // Hedge plane (fleet-only; validation requires shards >= 2).
+        // Mirrors the interleaved driver: with `per_shard` the estimator
+        // is keyed by shard (observe at the serving shard, delay from the
+        // attempt's target shard).
         let hcfg = cfg.hedge.unwrap_or_default();
         let hedge_on = cfg.hedge.is_some();
-        let mut hedge_est = HedgeEstimator::new();
+        let mut hedge_est: Vec<HedgeEstimator> = (0..if hcfg.per_shard { n_shards } else { 1 })
+            .map(|_| HedgeEstimator::new())
+            .collect();
+        macro_rules! hest {
+            ($s:expr) => {
+                hedge_est[if hcfg.per_shard { $s } else { 0 }]
+            };
+        }
 
         let mut req: Vec<Option<FleetReq>> = vec![None; n];
         let mut outstanding: Vec<u32> = vec![0; n_shards];
@@ -1239,7 +1249,7 @@ impl ParallelCluster {
                             }
                         }
                         if hedge_on {
-                            hedge_est.observe(rt);
+                            hest!($s).observe(rt);
                         }
                         if is_primary {
                             cancel_hedge!($now, $conn);
@@ -1315,7 +1325,7 @@ impl ParallelCluster {
                 }
                 if hedge_on {
                     sched_coord!(
-                        $now + hedge_est.delay(&hcfg),
+                        $now + hest!(s).delay(&hcfg),
                         CoordEv::HedgeFire { shard: s as u32, user: u as u32, epoch: ep }
                     );
                 }
@@ -1767,7 +1777,7 @@ impl ParallelCluster {
                                     );
                                     if hedge_on {
                                         sched_coord!(
-                                            now + hedge_est.delay(&hcfg),
+                                            now + hest!(s).delay(&hcfg),
                                             CoordEv::HedgeFire { shard, user, epoch }
                                         );
                                     }

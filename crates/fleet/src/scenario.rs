@@ -15,7 +15,7 @@ use crate::hedge::HedgeConfig;
 
 /// A CPU brownout on one shard: its machine runs `factor`× slower for
 /// `duration`, starting `at` after run start.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BrownoutSpec {
     /// Shard whose machine browns out.
     pub shard: usize,
@@ -33,7 +33,7 @@ pub struct BrownoutSpec {
 /// harness derives a [`FleetConfig`] per policy via
 /// [`FleetScenario::fleet_config`] so every policy sees the identical
 /// workload and fault schedule.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetScenario {
     /// Scenario name (report label).
     pub name: String,

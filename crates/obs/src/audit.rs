@@ -198,6 +198,15 @@ pub fn disposition(kind: TraceKind) -> Disposition {
             check: "sq_full",
             summary: |s| s.sq_full,
         },
+        TraceKind::DagDispatch => Disposition::Waived(
+            "service-graph kind with no RunSummary counter; asyncinv-dag::dag_audit reconciles it bitwise against DagSummary per-tier dispatch counters",
+        ),
+        TraceKind::DagJoin => Disposition::Waived(
+            "service-graph kind with no RunSummary counter; asyncinv-dag::dag_audit reconciles it bitwise against DagSummary per-tier join counters",
+        ),
+        TraceKind::DagEdgeRetry => Disposition::Waived(
+            "service-graph kind with no RunSummary counter; asyncinv-dag::dag_audit reconciles it bitwise against DagSummary per-tier edge-retry counters",
+        ),
     }
 }
 

@@ -205,6 +205,15 @@ pub fn classify(kind: TraceKind, arg: u64) -> Step {
         // Backpressure annotation: the SQE that hit the full ring stays
         // in whatever phase its own SqSubmit enters right after.
         TraceKind::SqFull => Step::Keep,
+        // Service-graph kinds never appear in an engine-level per-request
+        // stream: the DAG layer has its own span fold
+        // (`asyncinv_dag::DagSpan` + `dag_span_audit`), which decomposes a root
+        // request into per-tier queue/service and edge phases with its own
+        // bitwise conservation check. In a single-server span they are
+        // honest no-ops.
+        TraceKind::DagDispatch => Step::Keep,
+        TraceKind::DagJoin => Step::Keep,
+        TraceKind::DagEdgeRetry => Step::Keep,
     }
 }
 

@@ -81,11 +81,28 @@ pub enum TraceKind {
     /// A staging attempt found the submission ring full (SQ-full
     /// backpressure); `arg` is the ring depth that was hit.
     SqFull,
+    /// The DAG layer dispatched a tier call across a service-graph edge
+    /// (initial send, an edge retry's re-send, or a hedge duplicate);
+    /// `conn` is the root request, `thread` is the destination tier node,
+    /// `class` is the call-instance id and `arg` is the edge index.
+    /// Emitted only by non-trivial service graphs (a 1-tier graph is
+    /// bit-identical to the bare fleet driver and emits none).
+    DagDispatch,
+    /// An awaited edge reply joined at the calling tier: the caller
+    /// accepted a child call's response. `thread` is the *calling* tier
+    /// node, `class` is the winning call-instance id (hedge duplicates
+    /// and retries are separate instances) and `arg` is the edge index.
+    /// Fan-in completes when every awaited edge of the call has joined.
+    DagJoin,
+    /// An edge call timed out at the caller and was re-dispatched into
+    /// the child subtree (budget permitting); `thread` is the calling
+    /// tier node and `arg` is the attempt number being retired.
+    DagEdgeRetry,
 }
 
 impl TraceKind {
     /// Number of kinds (for per-kind counter arrays).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 27;
 
     /// All kinds, in discriminant order.
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -113,6 +130,9 @@ impl TraceKind {
         TraceKind::SqFlush,
         TraceKind::CqReap,
         TraceKind::SqFull,
+        TraceKind::DagDispatch,
+        TraceKind::DagJoin,
+        TraceKind::DagEdgeRetry,
     ];
 
     /// Stable index for per-kind counter arrays.
@@ -147,6 +167,9 @@ impl TraceKind {
             TraceKind::SqFlush => "sq_flush",
             TraceKind::CqReap => "cq_reap",
             TraceKind::SqFull => "sq_full",
+            TraceKind::DagDispatch => "dag_dispatch",
+            TraceKind::DagJoin => "dag_join",
+            TraceKind::DagEdgeRetry => "dag_edge_retry",
         }
     }
 }

@@ -57,6 +57,9 @@ pub fn chrome_cat(kind: TraceKind) -> &'static str {
         TraceKind::SqFlush => "uring",
         TraceKind::CqReap => "uring",
         TraceKind::SqFull => "uring",
+        TraceKind::DagDispatch => "dag",
+        TraceKind::DagJoin => "dag",
+        TraceKind::DagEdgeRetry => "dag",
     }
 }
 
@@ -90,6 +93,9 @@ pub fn jsonl_arg_key(kind: TraceKind) -> Option<&'static str> {
         TraceKind::SqFlush => Some("sqes"),
         TraceKind::CqReap => Some("cqes"),
         TraceKind::SqFull => Some("depth"),
+        TraceKind::DagDispatch => Some("edge"),
+        TraceKind::DagJoin => Some("edge"),
+        TraceKind::DagEdgeRetry => Some("attempt"),
     }
 }
 
@@ -324,7 +330,7 @@ mod tests {
     fn every_kind_has_a_category_and_arg_keys_are_semantic() {
         let cats = [
             "engine", "queue", "sched", "tcp", "client", "server", "fault", "mark", "fleet",
-            "uring",
+            "uring", "dag",
         ];
         for k in TraceKind::ALL {
             assert!(cats.contains(&chrome_cat(k)), "unknown category for {k:?}");

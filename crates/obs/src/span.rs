@@ -300,6 +300,9 @@ impl SpanAssembler {
                 | TraceKind::ThreadDispatch
                 | TraceKind::FaultInject
                 | TraceKind::SqFull
+                | TraceKind::DagDispatch
+                | TraceKind::DagJoin
+                | TraceKind::DagEdgeRetry
         ) {
             return;
         }

@@ -48,6 +48,7 @@ fn scenario() -> FleetScenario {
             percentile: 0.9,
             initial_delay: SimDuration::from_millis(5),
             min_samples: 64,
+            per_shard: false,
         }),
         timeout: SimDuration::from_millis(25),
         max_retries: 5,
@@ -75,6 +76,11 @@ fn main() {
         .unwrap_or_else(|e| panic!("read {} (regenerate with --write): {e}", path.display()));
     let sc: FleetScenario = serde_json::from_str(&body).expect("parse scenario");
     sc.validate().expect("valid scenario");
+    assert_eq!(
+        sc,
+        scenario(),
+        "checked-in scenario drifted from source (regenerate with --write)"
+    );
 
     let kind = ServerKind::NettyLike;
     let n = sc.shards;

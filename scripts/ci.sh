@@ -20,4 +20,8 @@ cargo run --release -p detlint -- check --json results/detlint-report.json
 echo "== gate: schedule explorer (enumerated + shuffled interleavings, bitwise) =="
 cargo run --release -p asyncinv-bench --bin schedule_explorer -- --quick
 
+echo "== gate: dag scenario (drift check + dag/span audits, both drivers) =="
+cargo run --release -p asyncinv-bench --bin dag_study -- \
+    --quick --scenario scenarios/dag_social.json
+
 echo "ci OK"

@@ -72,6 +72,13 @@ test -s results/fleet-sweep.json
 echo "== parallel fleet: conservative-sync driver == interleaved, bitwise =="
 cargo test -q --release --test prop_parallel
 
+echo "== dag: single-node reduction + driver invariance + audits =="
+cargo test -q --release --test prop_dag
+
+echo "== dag: checked-in social-network scenario, traced + audited =="
+cargo run --release -p asyncinv-bench --bin dag_study -- \
+    --quick --scenario scenarios/dag_social.json
+
 echo "== schedule explorer: enumerated + shuffled interleavings, bitwise =="
 cargo run --release -p asyncinv-bench --bin schedule_explorer -- --quick
 

@@ -130,6 +130,51 @@ fn fleet_run_is_identical_across_os_threads() {
     );
 }
 
+/// Per-shard hedge-delay estimation is a real policy change: under an
+/// asymmetric fleet (one shard browned out) the keyed estimators keep the
+/// healthy shards' delay tight instead of letting the slow shard drag the
+/// pooled percentile up, so the two configurations hedge at different
+/// times. Both must stay deterministic and pass the bitwise trace audit.
+#[test]
+fn per_shard_hedging_diverges_from_pooled_under_asymmetry() {
+    let mk = |per_shard: bool| {
+        let mut cfg = FleetConfig::new(retrying_cell(), 3, BalancerKind::RoundRobin);
+        cfg.cell.trace_capacity = 64;
+        cfg.hedge = Some(HedgeConfig {
+            min_samples: 16,
+            per_shard,
+            ..HedgeConfig::default()
+        });
+        cfg.shard_faults = vec![ShardFault {
+            shard: 0,
+            plan: FaultPlan {
+                seed: 3,
+                events: vec![FaultEvent {
+                    at: SimDuration::from_millis(150),
+                    fault: FaultKind::Slowdown {
+                        factor: 30.0,
+                        duration: Some(SimDuration::from_millis(250)),
+                    },
+                }],
+            },
+        }];
+        cfg
+    };
+    let kind = ServerKind::NettyLike;
+    let (pooled, prec) = Cluster::new(mk(false)).run_traced(kind);
+    let (keyed, krec) = Cluster::new(mk(true)).run_traced(kind);
+    for (name, s, rec) in [("pooled", &pooled, &prec), ("per-shard", &keyed, &krec)] {
+        let report = fleet_audit(s, rec);
+        assert!(report.pass(), "{name} hedge audit failed:\n{report}");
+        assert!(s.fleet.hedges > 0, "{name} hedging must actually fire");
+    }
+    assert_eq!(keyed, Cluster::new(mk(true)).run(kind), "keyed run must be deterministic");
+    assert_ne!(
+        pooled, keyed,
+        "per-shard estimators must change hedge timing under an asymmetric fleet"
+    );
+}
+
 proptest! {
     // Each case runs two full multi-shard simulations; keep the count low.
     #![proptest_config(ProptestConfig::with_cases(8))]

@@ -104,6 +104,26 @@ fn mixed_parallel_fleet_is_bit_identical_to_interleaved() {
     }
 }
 
+/// Per-shard hedge-delay estimation goes through the parallel driver's
+/// coordinator exactly like the pooled estimator: both drivers must stay
+/// bit-identical with `per_shard` on.
+#[test]
+fn per_shard_hedging_is_driver_invariant() {
+    let mut cfg = stressed_cfg();
+    cfg.hedge = Some(HedgeConfig {
+        min_samples: 16,
+        per_shard: true,
+        ..HedgeConfig::default()
+    });
+    let kind = ServerKind::NettyLike;
+    let a = Cluster::new(cfg.clone()).run(kind);
+    assert!(a.fleet.hedges > 0, "per-shard hedging must actually fire");
+    for threads in [1usize, 3] {
+        let b = ParallelCluster::new(cfg.clone()).threads(threads).run(kind);
+        assert_eq!(a, b, "per-shard hedged fleet diverged at {threads} threads");
+    }
+}
+
 /// A stressed 3-shard fleet with every plane engaged — retries, hedging,
 /// a mid-run shard fault, and a shed override. Shared by the traced
 /// bit-identity test and the schedule-race explorer tests (and mirrored
